@@ -1,0 +1,22 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+One :class:`~repro.analysis.experiment.ExperimentRunner` is shared by
+every bench so each (workload, policy) simulation runs exactly once per
+session; the per-bench timing then measures series derivation over the
+cached runs, while the first bench to need a policy pays for its
+simulations.
+"""
+
+import pytest
+
+from repro.analysis.experiment import ExperimentRunner
+
+# Per-run instruction budget.  Large enough for stable rates/percentiles,
+# small enough that the full 22-benchmark x 3-policy sweep stays in the
+# minutes range.
+BENCH_INSTRUCTIONS = 8_000
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(instructions=BENCH_INSTRUCTIONS)

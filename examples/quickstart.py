@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: run a program on the simulated CPU, with and without
+SafeSpec, and watch the micro-architectural difference.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import CommitPolicy, Machine, ProgramBuilder
+
+DATA = 0x2_0000
+
+
+def build_program() -> "Program":
+    """A loop that sums eight memory words."""
+    b = ProgramBuilder()
+    b.li("r1", DATA)       # data pointer
+    b.li("r2", 0)          # sum
+    b.li("r3", 8)          # remaining iterations
+    b.label("loop")
+    b.load("r4", "r1", 0)
+    b.alu("add", "r2", "r2", "r4")
+    b.alu("add", "r1", "r1", imm=8)
+    b.alu("sub", "r3", "r3", imm=1)
+    b.branch("ne", "r3", "r0", "loop")
+    b.halt()
+    return b.build()
+
+
+def main() -> None:
+    program = build_program()
+
+    for policy in (CommitPolicy.BASELINE, CommitPolicy.WFC):
+        machine = Machine(policy=policy)
+        machine.map_user_range(DATA, 4096)
+        for i in range(8):
+            machine.write_word(DATA + 8 * i, i + 1)
+
+        result = machine.run(program)
+        print(f"[{policy.value}]")
+        print(f"  sum          = {result.reg('r2')} (expected 36)")
+        print(f"  cycles       = {result.cycles}")
+        print(f"  instructions = {result.instructions}")
+        print(f"  IPC          = {result.ipc:.3f}")
+        if machine.engine is not None:
+            shadow = machine.engine.shadow_dcache
+            print(f"  shadow d-cache: {shadow.commit_count} entries "
+                  f"committed, {shadow.annul_count} annulled")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Transient Speculation Attacks (paper Section V / Figure 10).
+
+Demonstrates the covert channel *inside* the shadow structures:
+
+* with an undersized (4-entry) shadow dTLB, a mis-speculated Trojan can
+  exhaust the structure so a will-commit Spy's fills are dropped — one
+  bit crosses from the doomed path to committed state;
+* with the paper's worst-case ("Secure") sizing the Trojan cannot
+  create contention and the channel carries nothing.
+
+Usage::
+
+    python examples/tsa_demo.py
+"""
+
+from repro import CommitPolicy
+from repro.attacks.tsa import run_tsa, run_tsa_vulnerable
+
+
+def describe(result, label: str) -> None:
+    works = result.details["channel_works"]
+    print(f"{label}:")
+    for bit in (0, 1):
+        detail = result.details[f"bit{bit}"]
+        print(f"  transmitted {bit}: spy page translation latencies "
+              f"{detail['latency_page_a']} / {detail['latency_page_b']} "
+              f"cycles (shadow dTLB capacity "
+              f"{detail['shadow_dtlb_capacity']})")
+    print(f"  => channel {'WORKS — 1 bit leaked per window' if works else 'carries no information (closed)'}")
+    print()
+
+
+def main() -> None:
+    print("Transient Speculation Attack via shadow-dTLB contention\n")
+    describe(run_tsa_vulnerable(CommitPolicy.WFC, secret=1),
+             "Undersized shadow dTLB (4 entries, DROP policy)")
+    describe(run_tsa(CommitPolicy.WFC, secret=1),
+             "Worst-case 'Secure' sizing (LDQ+STQ entries)")
+    print("This is the paper's Section V result: shadow structures must "
+          "be sized for the worst case (or partitioned), otherwise the "
+          "defense itself opens a transient covert channel.")
+
+
+if __name__ == "__main__":
+    main()

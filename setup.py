@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``python setup.py develop`` work in offline
+environments that lack the ``wheel`` package (pip's modern editable
+install requires bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""SafeSpec reproduction: leakage-free speculation (DAC 2019).
+
+Public API:
+
+* :class:`~repro.machine.Machine` — a simulated out-of-order CPU with a
+  selectable commit policy (BASELINE / WFB / WFC).
+* :mod:`repro.isa` — the instruction set and program builder.
+* :mod:`repro.attacks` — Spectre/Meltdown/TSA proof-of-concept attacks.
+* :mod:`repro.workloads` — the synthetic SPEC CPU2017-like suite.
+* :mod:`repro.analysis` — experiment runner and figure/table metrics.
+* :mod:`repro.hwmodel` — CACTI-like hardware overhead model (Table V).
+"""
+
+from repro.core.policy import CommitPolicy
+from repro.core.safespec import SafeSpecConfig, SizingMode
+from repro.core.shadow import FullPolicy
+from repro.isa import ProgramBuilder, assemble
+from repro.machine import Machine
+from repro.memory.paging import PrivilegeLevel
+from repro.pipeline.config import CoreConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommitPolicy",
+    "CoreConfig",
+    "FullPolicy",
+    "Machine",
+    "PrivilegeLevel",
+    "ProgramBuilder",
+    "SafeSpecConfig",
+    "SizingMode",
+    "assemble",
+    "__version__",
+]

@@ -1,0 +1,132 @@
+"""ExperimentRunner: one simulation per (workload, policy), shared by all
+figures.
+
+Every performance figure in the paper (Figures 6-9 and 11-16) is a
+per-benchmark series derived from the same simulations, so the runner
+executes each (workload, policy) pair once and caches the
+:class:`~repro.workloads.suite.WorkloadRun`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.policy import CommitPolicy
+from repro.statistics import geometric_mean
+from repro.workloads.profiles import suite_names
+from repro.workloads.suite import (DEFAULT_INSTRUCTION_BUDGET, WorkloadRun,
+                                   run_workload)
+
+AVERAGE = "Average"
+
+
+class ExperimentRunner:
+    """Runs the suite under each policy and derives the figure series.
+
+    Each figure method returns an ordered ``{benchmark: value}`` dict,
+    with an ``Average`` entry appended (arithmetic mean for rates/sizes,
+    geometric mean for normalized IPC — matching the paper).
+    """
+
+    def __init__(self, benchmarks: Optional[List[str]] = None,
+                 instructions: int = DEFAULT_INSTRUCTION_BUDGET) -> None:
+        self.benchmarks = benchmarks or suite_names()
+        self.instructions = instructions
+        self._cache: Dict[Tuple[str, CommitPolicy], WorkloadRun] = {}
+
+    def run(self, benchmark: str, policy: CommitPolicy) -> WorkloadRun:
+        """Run (or fetch from cache) one benchmark under one policy."""
+        key = (benchmark, policy)
+        if key not in self._cache:
+            self._cache[key] = run_workload(
+                benchmark, policy, instructions=self.instructions)
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # Figures 6-9: shadow-structure sizing (p99.99 occupancy)
+    # ------------------------------------------------------------------
+
+    def shadow_sizing(self, structure: str, policy: CommitPolicy,
+                      fraction: float = 0.9999) -> Dict[str, float]:
+        """Shadow size covering ``fraction`` of cycles for each benchmark.
+
+        ``structure`` is one of ``shadow_icache`` (Fig. 6),
+        ``shadow_dcache`` (Fig. 7), ``shadow_itlb`` (Fig. 8),
+        ``shadow_dtlb`` (Fig. 9).
+        """
+        series = {}
+        for name in self.benchmarks:
+            run = self.run(name, policy)
+            series[name] = float(
+                run.shadow_size_percentile(structure, fraction))
+        series[AVERAGE] = _mean(series)
+        return series
+
+    # ------------------------------------------------------------------
+    # Figure 11: normalized IPC
+    # ------------------------------------------------------------------
+
+    def normalized_ipc(self, policy: CommitPolicy = CommitPolicy.WFC
+                       ) -> Dict[str, float]:
+        """IPC under ``policy`` normalized to the insecure baseline."""
+        series = {}
+        for name in self.benchmarks:
+            baseline = self.run(name, CommitPolicy.BASELINE)
+            protected = self.run(name, policy)
+            series[name] = (protected.ipc / baseline.ipc
+                            if baseline.ipc else 0.0)
+        series[AVERAGE] = geometric_mean(
+            [v for k, v in series.items() if k != AVERAGE and v > 0])
+        return series
+
+    # ------------------------------------------------------------------
+    # Figures 12-15: miss rates and shadow hit fractions
+    # ------------------------------------------------------------------
+
+    def dcache_miss_rates(self, policy: CommitPolicy) -> Dict[str, float]:
+        """Figure 12 series: d-cache read miss rate (shadow-inclusive)."""
+        series = {name: self.run(name, policy).dcache_read_miss_rate
+                  for name in self.benchmarks}
+        series[AVERAGE] = _mean(series)
+        return series
+
+    def shadow_dcache_hits(self, policy: CommitPolicy = CommitPolicy.WFC
+                           ) -> Dict[str, float]:
+        """Figure 13 series: fraction of read hits on the shadow d-cache."""
+        series = {name: self.run(name, policy).dcache_shadow_hit_fraction
+                  for name in self.benchmarks}
+        series[AVERAGE] = _mean(series)
+        return series
+
+    def icache_miss_rates(self, policy: CommitPolicy) -> Dict[str, float]:
+        """Figure 14 series: i-cache miss rate (shadow-inclusive)."""
+        series = {name: self.run(name, policy).icache_miss_rate
+                  for name in self.benchmarks}
+        series[AVERAGE] = _mean(series)
+        return series
+
+    def shadow_icache_hits(self, policy: CommitPolicy = CommitPolicy.WFC
+                           ) -> Dict[str, float]:
+        """Figure 15 series: fraction of fetch hits on the shadow i-cache."""
+        series = {name: self.run(name, policy).icache_shadow_hit_fraction
+                  for name in self.benchmarks}
+        series[AVERAGE] = _mean(series)
+        return series
+
+    # ------------------------------------------------------------------
+    # Figure 16: shadow commit rate
+    # ------------------------------------------------------------------
+
+    def shadow_commit_rates(self, structure: str,
+                            policy: CommitPolicy = CommitPolicy.WFC
+                            ) -> Dict[str, float]:
+        """Figure 16 series: committed fraction of retired shadow entries."""
+        series = {name: self.run(name, policy).shadow_commit_rate(structure)
+                  for name in self.benchmarks}
+        series[AVERAGE] = _mean(series)
+        return series
+
+
+def _mean(series: Dict[str, float]) -> float:
+    values = [v for k, v in series.items() if k != AVERAGE]
+    return sum(values) / len(values) if values else 0.0

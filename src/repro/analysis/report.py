@@ -1,0 +1,65 @@
+"""Text rendering of the reproduced figures and tables.
+
+The paper's figures are bar charts over the benchmark suite; in a
+terminal reproduction each becomes an aligned table with one row per
+benchmark plus the average, optionally with an ASCII bar.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+_BAR_WIDTH = 40
+
+
+def render_figure_series(title: str, series: Dict[str, float],
+                         unit: str = "", bars: bool = True,
+                         scale_max: Optional[float] = None) -> str:
+    """Render one benchmark series as an aligned text table."""
+    lines = [title, "=" * len(title)]
+    if not series:
+        return "\n".join(lines + ["(empty)"])
+    peak = scale_max if scale_max else max(series.values()) or 1.0
+    for name, value in series.items():
+        row = f"{name:10s} {value:10.4f}{unit}"
+        if bars and peak > 0:
+            filled = int(round(min(value / peak, 1.0) * _BAR_WIDTH))
+            row += "  |" + "#" * filled
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_sizing_figure(figure_id: str, structure: str,
+                         wfc: Dict[str, float],
+                         wfb: Dict[str, float]) -> str:
+    """Render a Figures 6-9 style two-policy sizing comparison."""
+    title = (f"Figure {figure_id}: {structure} size covering 99.99% of "
+             f"cycles (entries)")
+    lines = [title, "=" * len(title),
+             f"{'benchmark':10s} {'WFC':>8s} {'WFB':>8s}"]
+    for name in wfc:
+        lines.append(
+            f"{name:10s} {wfc[name]:8.1f} {wfb.get(name, 0.0):8.1f}")
+    return "\n".join(lines)
+
+
+def render_ipc_figure(series: Dict[str, float]) -> str:
+    """Render the Figure 11 style normalized-IPC table."""
+    title = "Figure 11: IPC normalized to the insecure baseline"
+    lines = [title, "=" * len(title)]
+    for name, value in series.items():
+        delta = (value - 1.0) * 100.0
+        lines.append(f"{name:10s} {value:7.4f}  ({delta:+5.1f}%)")
+    return "\n".join(lines)
+
+
+def render_two_series(title: str, left_name: str,
+                      left: Dict[str, float], right_name: str,
+                      right: Dict[str, float]) -> str:
+    """Render a two-series comparison (e.g. WFC vs baseline miss rates)."""
+    lines = [title, "=" * len(title),
+             f"{'benchmark':10s} {left_name:>10s} {right_name:>10s}"]
+    for name in left:
+        lines.append(f"{name:10s} {left[name]:10.4f} "
+                     f"{right.get(name, 0.0):10.4f}")
+    return "\n".join(lines)

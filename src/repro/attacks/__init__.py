@@ -1,0 +1,46 @@
+"""Proof-of-concept speculation attacks run against the simulated CPU.
+
+Each attack module exposes one entry point that takes a commit policy
+and returns an :class:`~repro.attacks.runner.AttackResult` saying what was
+leaked.  Together they regenerate Tables III and IV of the paper:
+
+============  =====================  ========  =====  =====
+Attack        Module                 BASELINE  WFB    WFC
+============  =====================  ========  =====  =====
+Spectre v1    ``spectre_v1``         leaks     safe   safe
+Spectre v2    ``spectre_v2``         leaks     safe   safe
+Meltdown      ``meltdown``           leaks     LEAKS  safe
+I-cache       ``icache_variant``     leaks     safe   safe
+iTLB          ``tlb_variant``        leaks     safe   safe
+dTLB          ``tlb_variant``        leaks     safe   safe
+Transient     ``tsa``                n/a       (small shadow leaks;
+                                               SECURE sizing safe)
+============  =====================  ========  =====  =====
+"""
+
+from repro.attacks.runner import (AttackResult, run_attack_by_name,
+                                  security_matrix, ALL_ATTACKS)
+from repro.attacks.spectre_v1 import run_spectre_v1
+from repro.attacks.spectre_v2 import run_spectre_v2
+from repro.attacks.meltdown import run_meltdown
+from repro.attacks.meltdown_spectre import run_meltdown_spectre
+from repro.attacks.icache_variant import run_icache_variant
+from repro.attacks.spectre_pp import run_spectre_v1_prime_probe
+from repro.attacks.tlb_variant import run_dtlb_variant, run_itlb_variant
+from repro.attacks.tsa import run_tsa
+
+__all__ = [
+    "ALL_ATTACKS",
+    "AttackResult",
+    "run_attack_by_name",
+    "run_dtlb_variant",
+    "run_icache_variant",
+    "run_itlb_variant",
+    "run_meltdown",
+    "run_meltdown_spectre",
+    "run_spectre_v1",
+    "run_spectre_v1_prime_probe",
+    "run_spectre_v2",
+    "run_tsa",
+    "security_matrix",
+]

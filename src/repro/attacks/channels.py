@@ -1,0 +1,210 @@
+"""Side-channel receivers: flush+reload and prime+probe.
+
+The receivers model the attacker's *committed* measurement loop
+(``rdtsc; access; rdtsc``) using the machine's non-perturbing probe
+interface, which returns exactly the latency such a timed access would
+observe against current committed state.  Speculative/shadow state is
+invisible to them by construction — which is the point of SafeSpec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.machine import Machine
+
+# A committed L1/L2 hit is < ~60 cycles in the Table II configuration; a
+# miss to memory is >= 191.  Anything under this threshold counts as
+# "present".
+DEFAULT_HIT_THRESHOLD = 100
+
+# TLB receiver: a TLB hit costs 1 cycle; the cheapest possible walk is
+# walk_levels (4) L1 hits = 16 cycles.
+DEFAULT_TLB_THRESHOLD = 8
+
+
+@dataclass
+class ProbeOutcome:
+    """Result of scanning all probe slots."""
+
+    latencies: List[int]
+    hot_slots: List[int]
+
+    @property
+    def value(self) -> Optional[int]:
+        """The leaked value: the unique hot slot, else None."""
+        if len(self.hot_slots) == 1:
+            return self.hot_slots[0]
+        return None
+
+
+class FlushReloadChannel:
+    """Classic flush+reload over an attacker-controlled probe array.
+
+    The probe array has ``slots`` cache-line-aligned entries spaced
+    ``stride`` bytes apart; the victim's secret-dependent access touches
+    slot ``secret`` and the receiver finds the hot line.
+    """
+
+    def __init__(self, machine: Machine, base: int, slots: int = 256,
+                 stride: int = 64,
+                 threshold: int = DEFAULT_HIT_THRESHOLD) -> None:
+        self.machine = machine
+        self.base = base
+        self.slots = slots
+        self.stride = stride
+        self.threshold = threshold
+
+    def slot_address(self, slot: int) -> int:
+        return self.base + slot * self.stride
+
+    def map(self) -> None:
+        """Map the probe array into the attacker's address space."""
+        self.machine.map_user_range(self.base, self.slots * self.stride)
+
+    def flush(self) -> None:
+        """Flush every probe slot (the attack's setup step)."""
+        for slot in range(self.slots):
+            self.machine.flush_address(self.slot_address(slot))
+
+    def reload(self) -> ProbeOutcome:
+        """Time a committed load of every slot; hot slots are hits."""
+        return _scan(self.slots, self.threshold,
+                     lambda s: self.machine.probe_latency(
+                         self.slot_address(s)))
+
+
+class IcacheReloadChannel:
+    """Flush+reload against the instruction cache: the receiver times a
+    committed fetch of each probe slot (the paper's I-cache variant)."""
+
+    def __init__(self, machine: Machine, base: int, slots: int = 256,
+                 stride: int = 256,
+                 threshold: int = DEFAULT_HIT_THRESHOLD) -> None:
+        self.machine = machine
+        self.base = base
+        self.slots = slots
+        self.stride = stride
+        self.threshold = threshold
+
+    def slot_address(self, slot: int) -> int:
+        return self.base + slot * self.stride
+
+    def flush(self) -> None:
+        for slot in range(self.slots):
+            addr = self.slot_address(slot)
+            translation = self.machine.page_table.lookup(addr)
+            if translation is not None:
+                self.machine.hierarchy.clflush(translation.physical(addr))
+
+    def reload(self) -> ProbeOutcome:
+        return _scan(self.slots, self.threshold,
+                     lambda s: self.machine.probe_fetch_latency(
+                         self.slot_address(s)))
+
+
+class TlbProbeChannel:
+    """Receiver for the TLB variants: times the *translation* of one page
+    per probe slot.  A speculatively installed TLB entry makes the
+    translation a 1-cycle hit; otherwise a multi-access page walk runs."""
+
+    def __init__(self, machine: Machine, base: int, slots: int = 256,
+                 side: str = "d",
+                 threshold: int = DEFAULT_TLB_THRESHOLD) -> None:
+        self.machine = machine
+        self.base = base
+        self.slots = slots
+        self.side = side
+        self.threshold = threshold
+        self.page_stride = 4096
+
+    def slot_address(self, slot: int) -> int:
+        return self.base + slot * self.page_stride
+
+    def reload(self) -> ProbeOutcome:
+        return _scan(self.slots, self.threshold,
+                     lambda s: self.machine.probe_translation_latency(
+                         self.slot_address(s), side=self.side))
+
+
+class PrimeProbeChannel:
+    """Prime+Probe against the L1 data cache (the paper's reference [21]).
+
+    Where flush+reload needs ``clflush`` and shared memory, prime+probe
+    needs neither: the attacker fills ("primes") every way of the
+    monitored L1 sets with its own lines, lets the victim run, then
+    re-times its lines — a slow line means the victim's secret-dependent
+    access landed in (and evicted from) that set.
+
+    The victim's unrelated accesses evict attacker lines too, so the
+    receiver works differentially: :meth:`calibrate` records the noise
+    sets left by a benign victim run, and :meth:`probe` reports only the
+    sets that newly became hot.
+    """
+
+    def __init__(self, machine: Machine, prime_base: int = 0x300_0000,
+                 l1_hit_threshold: int = 10) -> None:
+        self.machine = machine
+        self.prime_base = prime_base
+        self.threshold = l1_hit_threshold
+        config = machine.hierarchy.l1d.config
+        self.num_sets = config.num_sets
+        self.ways = config.associativity
+        self.line_bytes = config.line_bytes
+        self._way_stride = self.num_sets * self.line_bytes
+        self._noise_sets: set = set()
+        machine.map_user_range(prime_base,
+                               self.ways * self._way_stride)
+
+    def line_address(self, set_index: int, way: int) -> int:
+        """Attacker line mapping to ``set_index`` (one per way)."""
+        return (self.prime_base + set_index * self.line_bytes
+                + way * self._way_stride)
+
+    def set_of(self, vaddr: int) -> int:
+        """The L1 set a victim address maps to."""
+        return self.machine.hierarchy.l1d.set_index(vaddr)
+
+    def prime(self) -> None:
+        """Architecturally load every way of every set."""
+        from repro.attacks.gadgets import warm_lines
+
+        addresses = [self.line_address(s, w)
+                     for w in range(self.ways)
+                     for s in range(self.num_sets)]
+        warm_lines(self.machine, addresses, code_base=0x74_000)
+
+    def _evicted_sets(self) -> set:
+        evicted = set()
+        for set_index in range(self.num_sets):
+            for way in range(self.ways):
+                addr = self.line_address(set_index, way)
+                if self.machine.probe_latency(addr) > self.threshold:
+                    evicted.add(set_index)
+                    break
+        return evicted
+
+    def calibrate(self) -> set:
+        """Record the sets a benign victim run perturbs (call after
+        prime + benign run)."""
+        self._noise_sets = self._evicted_sets()
+        return set(self._noise_sets)
+
+    def probe(self) -> ProbeOutcome:
+        """Sets newly evicted relative to the calibration run."""
+        signal = sorted(self._evicted_sets() - self._noise_sets)
+        return ProbeOutcome(latencies=[], hot_slots=signal)
+
+
+def _scan(slots: int, threshold: int,
+          measure: Callable[[int], int]) -> ProbeOutcome:
+    latencies = [measure(slot) for slot in range(slots)]
+    hot = [slot for slot, lat in enumerate(latencies) if lat < threshold]
+    return ProbeOutcome(latencies=latencies, hot_slots=hot)
+
+
+def classify_hit(latency: int,
+                 threshold: int = DEFAULT_HIT_THRESHOLD) -> bool:
+    """Whether a measured latency indicates a cache hit."""
+    return latency < threshold

@@ -1,0 +1,120 @@
+"""Attack orchestration: results, registry, and the security matrix.
+
+``security_matrix`` regenerates Tables III and IV of the paper: it runs
+every attack under BASELINE, WFB and WFC and reports which policies close
+which attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.policy import CommitPolicy
+from repro.errors import ConfigError
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack attempt.
+
+    ``leaked`` is the value the receiver recovered (None when nothing
+    leaked); ``success`` is True when the recovered value equals the
+    planted secret — the attacker learned something they should not have.
+    """
+
+    attack: str
+    policy: CommitPolicy
+    secret: int
+    leaked: Optional[int]
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def success(self) -> bool:
+        return self.leaked is not None and self.leaked == self.secret
+
+    @property
+    def closed(self) -> bool:
+        """Whether the defense closed the channel (attack failed)."""
+        return not self.success
+
+    def __str__(self) -> str:
+        verdict = "LEAKED" if self.success else "closed"
+        return (f"{self.attack:12s} under {self.policy.value:8s}: {verdict} "
+                f"(secret={self.secret}, recovered={self.leaked})")
+
+
+def _registry() -> Dict[str, Callable[[CommitPolicy, int], AttackResult]]:
+    # Imported lazily to avoid import cycles with the attack modules.
+    from repro.attacks.icache_variant import run_icache_variant
+    from repro.attacks.meltdown import run_meltdown
+    from repro.attacks.meltdown_spectre import run_meltdown_spectre
+    from repro.attacks.spectre_pp import run_spectre_v1_prime_probe
+    from repro.attacks.spectre_v1 import run_spectre_v1
+    from repro.attacks.spectre_v2 import run_spectre_v2
+    from repro.attacks.tlb_variant import run_dtlb_variant, run_itlb_variant
+    from repro.attacks.tsa import run_tsa
+
+    return {
+        "spectre_v1": run_spectre_v1,
+        "spectre_v1_pp": run_spectre_v1_prime_probe,
+        "spectre_v2": run_spectre_v2,
+        "meltdown": run_meltdown,
+        "meltdown_spectre": run_meltdown_spectre,
+        "icache": run_icache_variant,
+        "itlb": run_itlb_variant,
+        "dtlb": run_dtlb_variant,
+        "transient": run_tsa,
+    }
+
+
+ALL_ATTACKS = ("spectre_v1", "spectre_v1_pp", "spectre_v2", "meltdown",
+               "meltdown_spectre", "icache", "itlb", "dtlb", "transient")
+
+
+def run_attack_by_name(name: str, policy: CommitPolicy,
+                       secret: int = 42) -> AttackResult:
+    """Run one registered attack by name."""
+    registry = _registry()
+    if name not in registry:
+        raise ConfigError(
+            f"unknown attack {name!r}; choose from {sorted(registry)}")
+    return registry[name](policy, secret)
+
+
+def security_matrix(attacks: Optional[List[str]] = None,
+                    policies: Optional[List[CommitPolicy]] = None,
+                    secret: int = 42) -> Dict[str, Dict[str, AttackResult]]:
+    """Run every (attack, policy) pair — Tables III and IV.
+
+    Returns ``{attack_name: {policy_value: AttackResult}}``.
+    """
+    registry = _registry()
+    attacks = list(attacks) if attacks is not None else list(ALL_ATTACKS)
+    policies = policies or [CommitPolicy.BASELINE, CommitPolicy.WFB,
+                            CommitPolicy.WFC]
+    matrix: Dict[str, Dict[str, AttackResult]] = {}
+    for name in attacks:
+        if name not in registry:
+            raise ConfigError(f"unknown attack {name!r}")
+        matrix[name] = {}
+        for policy in policies:
+            matrix[name][policy.value] = registry[name](policy, secret)
+    return matrix
+
+
+def render_matrix(matrix: Dict[str, Dict[str, AttackResult]]) -> str:
+    """Pretty-print a security matrix as the paper's check/cross table."""
+    policies = sorted({p for row in matrix.values() for p in row})
+    header = f"{'attack':12s} " + " ".join(f"{p:>9s}" for p in policies)
+    lines = [header, "-" * len(header)]
+    for attack, row in matrix.items():
+        cells = []
+        for policy in policies:
+            result = row.get(policy)
+            if result is None:
+                cells.append(f"{'-':>9s}")
+            else:
+                cells.append(f"{'closed' if result.closed else 'LEAKED':>9s}")
+        lines.append(f"{attack:12s} " + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``attack <name|all> [--policy ...] [--secret N]`` — run attack PoCs.
+* ``matrix`` — Tables III/IV: every attack under every policy.
+* ``workload <name|suite> [--policy ...] [--instructions N]`` — run the
+  synthetic suite and print the per-run metrics.
+* ``figures [--benchmarks a,b,...] [--instructions N]`` — regenerate the
+  performance figures (6-9, 11-16) as text tables.
+* ``table5`` — the hardware-overhead table.
+* ``asm <file>`` — assemble a text program and print its disassembly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiment import ExperimentRunner
+from repro.analysis.report import (render_figure_series, render_ipc_figure,
+                                   render_sizing_figure, render_two_series)
+from repro.attacks import ALL_ATTACKS, run_attack_by_name, security_matrix
+from repro.attacks.runner import render_matrix
+from repro.core.policy import CommitPolicy
+from repro.errors import ReproError
+from repro.hwmodel.overhead import render_table5
+from repro.workloads import run_workload, suite_names
+
+_POLICIES = {p.value: p for p in CommitPolicy}
+
+
+def _parse_policy(value: str) -> CommitPolicy:
+    if value not in _POLICIES:
+        raise argparse.ArgumentTypeError(
+            f"unknown policy {value!r}; choose from {sorted(_POLICIES)}")
+    return _POLICIES[value]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SafeSpec (DAC 2019) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    attack = sub.add_parser("attack", help="run one attack PoC (or all)")
+    attack.add_argument("name", choices=list(ALL_ATTACKS) + ["all"])
+    attack.add_argument("--policy", type=_parse_policy,
+                        action="append", default=None,
+                        help="baseline / wfb / wfc (repeatable; "
+                             "default: all three)")
+    attack.add_argument("--secret", type=int, default=42)
+
+    sub.add_parser("matrix",
+                   help="run every attack under every policy "
+                        "(Tables III & IV)")
+
+    workload = sub.add_parser("workload",
+                              help="run a synthetic benchmark")
+    workload.add_argument("name", help="benchmark name or 'suite'")
+    workload.add_argument("--policy", type=_parse_policy,
+                          default=CommitPolicy.BASELINE)
+    workload.add_argument("--instructions", type=int, default=10_000)
+
+    figures = sub.add_parser("figures",
+                             help="regenerate the performance figures")
+    figures.add_argument("--benchmarks", default=None,
+                         help="comma-separated subset (default: full "
+                              "suite)")
+    figures.add_argument("--instructions", type=int, default=8_000)
+
+    sub.add_parser("table5", help="hardware overhead table (Table V)")
+
+    asm = sub.add_parser("asm", help="assemble and disassemble a program")
+    asm.add_argument("file", help="assembly source file ('-' for stdin)")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    policies = args.policy or [CommitPolicy.BASELINE, CommitPolicy.WFB,
+                               CommitPolicy.WFC]
+    names = list(ALL_ATTACKS) if args.name == "all" else [args.name]
+    failures = 0
+    for name in names:
+        for policy in policies:
+            result = run_attack_by_name(name, policy, args.secret)
+            print(result)
+    return failures
+
+
+def _cmd_matrix(_args: argparse.Namespace) -> int:
+    matrix = security_matrix()
+    print(render_matrix(matrix))
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    names = suite_names() if args.name == "suite" else [args.name]
+    header = (f"{'benchmark':10s} {'IPC':>7s} {'d-miss':>7s} "
+              f"{'i-miss':>7s} {'cycles':>9s}")
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        run = run_workload(name, args.policy,
+                           instructions=args.instructions)
+        print(f"{name:10s} {run.ipc:7.3f} "
+              f"{run.dcache_read_miss_rate:7.3f} "
+              f"{run.icache_miss_rate:7.3f} {run.result.cycles:9d}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    benchmarks = (args.benchmarks.split(",") if args.benchmarks
+                  else None)
+    runner = ExperimentRunner(benchmarks=benchmarks,
+                              instructions=args.instructions)
+    wfc, wfb = CommitPolicy.WFC, CommitPolicy.WFB
+    base = CommitPolicy.BASELINE
+    sizing_figures = [("6", "shadow_icache"), ("7", "shadow_dcache"),
+                      ("8", "shadow_itlb"), ("9", "shadow_dtlb")]
+    for figure_id, structure in sizing_figures:
+        print(render_sizing_figure(figure_id, structure,
+                                   runner.shadow_sizing(structure, wfc),
+                                   runner.shadow_sizing(structure, wfb)))
+        print()
+    print(render_ipc_figure(runner.normalized_ipc(wfc)))
+    print()
+    print(render_two_series("Figure 12: d-cache read miss rate",
+                            "WFC", runner.dcache_miss_rates(wfc),
+                            "baseline", runner.dcache_miss_rates(base)))
+    print()
+    print(render_figure_series("Figure 13: hits on shadow d-cache",
+                               runner.shadow_dcache_hits(wfc),
+                               scale_max=1.0))
+    print()
+    print(render_two_series("Figure 14: i-cache miss rate",
+                            "WFC", runner.icache_miss_rates(wfc),
+                            "baseline", runner.icache_miss_rates(base)))
+    print()
+    print(render_figure_series("Figure 15: hits on shadow i-cache",
+                               runner.shadow_icache_hits(wfc),
+                               scale_max=1.0))
+    print()
+    print(render_two_series(
+        "Figure 16: commit rate of shadow state",
+        "i-cache", runner.shadow_commit_rates("shadow_icache", wfc),
+        "d-cache", runner.shadow_commit_rates("shadow_dcache", wfc)))
+    return 0
+
+
+def _cmd_table5(_args: argparse.Namespace) -> int:
+    print(render_table5())
+    return 0
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    from repro.isa.assembler import assemble
+
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.file) as handle:
+            source = handle.read()
+    program = assemble(source)
+    print(program.disassemble())
+    return 0
+
+
+_COMMANDS = {
+    "attack": _cmd_attack,
+    "matrix": _cmd_matrix,
+    "workload": _cmd_workload,
+    "figures": _cmd_figures,
+    "table5": _cmd_table5,
+    "asm": _cmd_asm,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

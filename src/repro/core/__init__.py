@@ -1,0 +1,20 @@
+"""SafeSpec: the paper's primary contribution.
+
+Shadow structures hold all micro-architectural state produced by
+speculative instructions; the engine moves that state into the committed
+structures when instructions become safe (per the commit policy) and
+annuls it when they are squashed.
+"""
+
+from repro.core.policy import CommitPolicy
+from repro.core.safespec import SafeSpecConfig, SafeSpecEngine, SizingMode
+from repro.core.shadow import FullPolicy, ShadowStructure
+
+__all__ = [
+    "CommitPolicy",
+    "FullPolicy",
+    "SafeSpecConfig",
+    "SafeSpecEngine",
+    "ShadowStructure",
+    "SizingMode",
+]

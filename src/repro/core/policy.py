@@ -1,0 +1,41 @@
+"""Commit policies: when speculative state may become visible.
+
+The paper's two SafeSpec variants plus the insecure baseline:
+
+* ``BASELINE`` — no shadow state; fills land in the real structures at
+  execute time.  Vulnerable to Spectre and Meltdown.
+* ``WFB`` (wait-for-branch) — shadow state is promoted once every older
+  control-flow instruction has resolved.  Stops Spectre v1/v2 (which
+  require a branch misprediction) but **not** Meltdown (a faulting load
+  with no unresolved older branch promotes its line before the fault is
+  detected at commit).
+* ``WFC`` (wait-for-commit) — shadow state is promoted only when its
+  owning instruction commits.  Stops Spectre *and* Meltdown.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CommitPolicy(enum.Enum):
+    """Selects when speculative micro-architectural state is promoted."""
+
+    BASELINE = "baseline"
+    WFB = "wfb"
+    WFC = "wfc"
+
+    @property
+    def uses_shadow(self) -> bool:
+        """Whether this policy routes fills through shadow structures."""
+        return self is not CommitPolicy.BASELINE
+
+    @property
+    def stops_spectre(self) -> bool:
+        """Paper Table III: both WFB and WFC close Spectre 1/2."""
+        return self.uses_shadow
+
+    @property
+    def stops_meltdown(self) -> bool:
+        """Paper Table III: only WFC closes Meltdown."""
+        return self is CommitPolicy.WFC

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the SafeSpec reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (bad opcode, unknown label...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent or unsupported state."""
+
+
+class MemoryFault(ReproError):
+    """An architectural memory fault (raised at commit time only).
+
+    Attributes:
+        vaddr: faulting virtual address.
+        pc: program counter of the faulting instruction.
+        kind: short fault category, e.g. ``"permission"`` or ``"unmapped"``.
+    """
+
+    def __init__(self, vaddr: int, pc: int, kind: str = "permission") -> None:
+        super().__init__(f"{kind} fault at vaddr={vaddr:#x} (pc={pc:#x})")
+        self.vaddr = vaddr
+        self.pc = pc
+        self.kind = kind

@@ -1,0 +1,13 @@
+"""Branch-prediction front end: BTB, direction predictors, RSB."""
+
+from repro.frontend.btb import BranchTargetBuffer, BTBConfig
+from repro.frontend.predictors import (BimodalPredictor, GsharePredictor,
+                                       ReturnStackBuffer)
+
+__all__ = [
+    "BTBConfig",
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "GsharePredictor",
+    "ReturnStackBuffer",
+]

@@ -1,0 +1,77 @@
+"""Branch target buffer.
+
+The BTB is indexed by a *partial* PC (low-order bits) and is untagged
+beyond that index, matching the paper's threat model property P3: code at
+one virtual address can install a target that a branch at a *different*
+virtual address (colliding in the index) will consume.  This is the
+mechanism Spectre variant 2 uses to hijack speculative control flow, and
+SafeSpec deliberately does not try to prevent it — the defense is
+downstream, at the leakage point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.statistics import StatRegistry
+
+
+@dataclass(frozen=True)
+class BTBConfig:
+    """Geometry of the branch target buffer."""
+
+    entries: int = 512
+    index_bits: int = 9
+    shift: int = 4          # instruction alignment discarded from the PC
+
+    def __post_init__(self) -> None:
+        if self.entries != 1 << self.index_bits:
+            raise ConfigError(
+                f"BTB entries ({self.entries}) must equal "
+                f"2**index_bits ({1 << self.index_bits})")
+
+
+class BranchTargetBuffer:
+    """Direct-mapped, untagged target cache, shared by all code."""
+
+    def __init__(self, config: Optional[BTBConfig] = None) -> None:
+        self.config = config or BTBConfig()
+        self.stats = StatRegistry("btb")
+        self._lookups = self.stats.counter("lookups")
+        self._hits = self.stats.counter("hits")
+        self._updates = self.stats.counter("updates")
+        self._targets: Dict[int, int] = {}
+
+    def index_of(self, pc: int) -> int:
+        """BTB set selected by ``pc`` (low-order bits after alignment)."""
+        return (pc >> self.config.shift) & (self.config.entries - 1)
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        """Predicted target for a control-flow instruction at ``pc``."""
+        self._lookups.increment()
+        target = self._targets.get(self.index_of(pc))
+        if target is not None:
+            self._hits.increment()
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        """Record the resolved target of the branch at ``pc``.
+
+        Because entries are untagged, this is also the *poisoning*
+        primitive: an attacker branch whose PC collides with the victim's
+        installs an arbitrary target that the victim will speculate to.
+        """
+        self._updates.increment()
+        self._targets[self.index_of(pc)] = target
+
+    def aliases(self, pc_a: int, pc_b: int) -> bool:
+        """Whether two PCs collide in the BTB (share an entry)."""
+        return self.index_of(pc_a) == self.index_of(pc_b)
+
+    def flush(self) -> None:
+        self._targets.clear()
+
+    def occupancy(self) -> int:
+        return len(self._targets)

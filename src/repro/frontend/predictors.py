@@ -1,0 +1,135 @@
+"""Direction predictors and the return stack buffer.
+
+Two classic direction predictors are provided:
+
+* :class:`BimodalPredictor` — per-PC 2-bit saturating counters.
+* :class:`GsharePredictor` — global-history XOR PC indexed counters.
+
+Both are *trainable from any context* (no tagging, no privilege
+separation), deliberately preserving the mistraining surface Spectre
+variant 1 relies on.  SafeSpec "makes no assumptions on the branch
+predictor behavior" (paper Section I) — the attacks are free to mistrain.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+from repro.statistics import StatRegistry
+
+_TAKEN_THRESHOLD = 2  # 2-bit counter: 0,1 predict not-taken; 2,3 taken
+_COUNTER_MAX = 3
+
+
+class BimodalPredictor:
+    """A table of 2-bit saturating counters indexed by PC bits."""
+
+    def __init__(self, entries: int = 4096, shift: int = 4) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigError(f"entries must be a power of two, got {entries}")
+        self._entries = entries
+        self._shift = shift
+        self._counters: List[int] = [1] * entries  # weakly not-taken
+        self.stats = StatRegistry("bimodal")
+        self._predictions = self.stats.counter("predictions")
+        self._mispredictions = self.stats.counter("mispredictions")
+
+    def _index(self, pc: int) -> int:
+        return (pc >> self._shift) & (self._entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        self._predictions.increment()
+        return self._counters[self._index(pc)] >= _TAKEN_THRESHOLD
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        """Train with the resolved outcome (callable from any context)."""
+        if taken != predicted:
+            self._mispredictions.increment()
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, _COUNTER_MAX)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+
+    def misprediction_rate(self) -> float:
+        total = self._predictions.value
+        return self._mispredictions.value / total if total else 0.0
+
+    def flush(self) -> None:
+        self._counters = [1] * self._entries
+
+
+class GsharePredictor:
+    """Global-history predictor: counters indexed by (history XOR pc)."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12,
+                 shift: int = 4) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigError(f"entries must be a power of two, got {entries}")
+        if not 1 <= history_bits <= 32:
+            raise ConfigError(f"history_bits out of range: {history_bits}")
+        self._entries = entries
+        self._history_bits = history_bits
+        self._shift = shift
+        self._history = 0
+        self._counters: List[int] = [1] * entries
+        self.stats = StatRegistry("gshare")
+        self._predictions = self.stats.counter("predictions")
+        self._mispredictions = self.stats.counter("mispredictions")
+
+    def _index(self, pc: int) -> int:
+        history = self._history & ((1 << self._history_bits) - 1)
+        return ((pc >> self._shift) ^ history) & (self._entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        self._predictions.increment()
+        return self._counters[self._index(pc)] >= _TAKEN_THRESHOLD
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        if taken != predicted:
+            self._mispredictions.increment()
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, _COUNTER_MAX)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+        self._history = ((self._history << 1) | int(taken)) & (
+            (1 << self._history_bits) - 1)
+
+    def misprediction_rate(self) -> float:
+        total = self._predictions.value
+        return self._mispredictions.value / total if total else 0.0
+
+    def flush(self) -> None:
+        self._counters = [1] * self._entries
+        self._history = 0
+
+
+class ReturnStackBuffer:
+    """A bounded return-address stack (provided for completeness; the
+    reproduction ISA has no call/return, but the retpoline discussion in
+    the paper's related work references RSB behaviour)."""
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth <= 0:
+            raise ConfigError(f"RSB depth must be positive, got {depth}")
+        self._depth = depth
+        self._stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) >= self._depth:
+            del self._stack[0]  # overflow discards the oldest entry
+        self._stack.append(return_pc)
+
+    def pop(self) -> int:
+        """Predicted return target; 0 when empty (mispredict-on-empty)."""
+        if not self._stack:
+            return 0
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,20 @@
+"""CACTI-like hardware area/power/timing model (paper Table V)."""
+
+from repro.hwmodel.sram import (CamModel, SramModel, StructureEstimate,
+                                TECH_40NM, TechnologyNode)
+from repro.hwmodel.overhead import (OverheadReport, ShadowSizing,
+                                    l1_reference_estimate,
+                                    shadow_overhead_report, table5)
+
+__all__ = [
+    "CamModel",
+    "OverheadReport",
+    "ShadowSizing",
+    "SramModel",
+    "StructureEstimate",
+    "TECH_40NM",
+    "TechnologyNode",
+    "l1_reference_estimate",
+    "shadow_overhead_report",
+    "table5",
+]

@@ -1,0 +1,22 @@
+"""A small RISC-ish ISA executed by the out-of-order core.
+
+The ISA is wide enough to express the paper's attack gadgets (data-
+dependent loads, bounds-checked branches, indirect branches, clflush,
+timer reads, privileged loads) and the synthetic SPEC-like workloads.
+"""
+
+from repro.isa.instructions import (AluOp, BranchCond, Instruction,
+                                    InstructionClass, Opcode)
+from repro.isa.program import Program
+from repro.isa.assembler import ProgramBuilder, assemble
+
+__all__ = [
+    "AluOp",
+    "BranchCond",
+    "Instruction",
+    "InstructionClass",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+]

@@ -1,0 +1,196 @@
+"""Instruction encodings.
+
+Each static instruction occupies ``INSTRUCTION_BYTES`` of the virtual
+address space so that instruction-cache behaviour (line sharing, spatial
+locality) is meaningful: with 16-byte instructions and 64-byte lines, four
+instructions share one i-cache line, mirroring typical x86 densities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import AssemblyError
+
+INSTRUCTION_BYTES = 16
+
+
+class Opcode(enum.Enum):
+    """Top-level operation selector."""
+
+    ALU = "alu"            # rd <- rs1 OP (rs2 | imm)
+    LOADIMM = "loadimm"    # rd <- imm
+    LOAD = "load"          # rd <- MEM[rs1 + imm]
+    STORE = "store"        # MEM[rs1 + imm] <- rs2
+    BRANCH = "branch"      # conditional, relative to labels
+    JMP = "jmp"            # unconditional direct
+    JMPI = "jmpi"          # unconditional indirect: target = rs1
+    CLFLUSH = "clflush"    # flush line at rs1 + imm from all cache levels
+    RDTSC = "rdtsc"        # rd <- current cycle (serialising read)
+    FENCE = "fence"        # speculation barrier (lfence-like)
+    NOP = "nop"
+    HALT = "halt"
+
+
+class AluOp(enum.Enum):
+    """ALU operations."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+
+
+class BranchCond(enum.Enum):
+    """Branch conditions comparing rs1 against rs2 (signed)."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    GE = "ge"
+
+
+class InstructionClass(enum.Enum):
+    """Functional-unit class used by the issue stage."""
+
+    INT = "int"
+    MUL = "mul"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    SYSTEM = "system"
+
+
+_OPCODE_CLASS = {
+    Opcode.ALU: InstructionClass.INT,
+    Opcode.LOADIMM: InstructionClass.INT,
+    Opcode.LOAD: InstructionClass.LOAD,
+    Opcode.STORE: InstructionClass.STORE,
+    Opcode.BRANCH: InstructionClass.BRANCH,
+    Opcode.JMP: InstructionClass.BRANCH,
+    Opcode.JMPI: InstructionClass.BRANCH,
+    Opcode.CLFLUSH: InstructionClass.SYSTEM,
+    Opcode.RDTSC: InstructionClass.SYSTEM,
+    Opcode.FENCE: InstructionClass.SYSTEM,
+    Opcode.NOP: InstructionClass.INT,
+    Opcode.HALT: InstructionClass.SYSTEM,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Fields are used selectively per opcode:
+
+    * ``rd`` — destination register (ALU, LOADIMM, LOAD, RDTSC).
+    * ``rs1`` — first source (ALU, LOAD/STORE/CLFLUSH base, BRANCH lhs,
+      JMPI target register).
+    * ``rs2`` — second source (ALU register form, STORE data, BRANCH rhs).
+    * ``imm`` — immediate (ALU immediate form, LOADIMM value,
+      LOAD/STORE/CLFLUSH displacement).
+    * ``target`` — static branch/jump target *instruction index*.
+    * ``alu_op`` / ``cond`` — sub-operation selectors.
+    * ``label`` — optional symbolic name of this instruction's location.
+    """
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None
+    alu_op: Optional[AluOp] = None
+    cond: Optional[BranchCond] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        op = self.opcode
+        if op == Opcode.ALU:
+            if self.rd is None or self.rs1 is None or self.alu_op is None:
+                raise AssemblyError("ALU needs rd, rs1 and alu_op")
+        elif op == Opcode.LOADIMM:
+            if self.rd is None:
+                raise AssemblyError("LOADIMM needs rd")
+        elif op == Opcode.LOAD:
+            if self.rd is None or self.rs1 is None:
+                raise AssemblyError("LOAD needs rd and rs1")
+        elif op == Opcode.STORE:
+            if self.rs1 is None or self.rs2 is None:
+                raise AssemblyError("STORE needs rs1 (base) and rs2 (data)")
+        elif op == Opcode.BRANCH:
+            if self.rs1 is None or self.rs2 is None or self.cond is None:
+                raise AssemblyError("BRANCH needs rs1, rs2 and cond")
+        elif op == Opcode.JMPI:
+            if self.rs1 is None:
+                raise AssemblyError("JMPI needs rs1")
+        elif op == Opcode.CLFLUSH:
+            if self.rs1 is None:
+                raise AssemblyError("CLFLUSH needs rs1")
+        elif op == Opcode.RDTSC:
+            if self.rd is None:
+                raise AssemblyError("RDTSC needs rd")
+
+    @property
+    def inst_class(self) -> InstructionClass:
+        if self.opcode == Opcode.ALU and self.alu_op == AluOp.MUL:
+            return InstructionClass.MUL
+        return _OPCODE_CLASS[self.opcode]
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.opcode in (Opcode.BRANCH, Opcode.JMP, Opcode.JMPI)
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.opcode == Opcode.BRANCH
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opcode == Opcode.JMPI
+
+    @property
+    def writes_register(self) -> bool:
+        return self.rd is not None
+
+    def source_registers(self) -> tuple:
+        """Architectural registers read by this instruction."""
+        sources = []
+        if self.rs1 is not None:
+            sources.append(self.rs1)
+        if self.rs2 is not None:
+            sources.append(self.rs2)
+        return tuple(sources)
+
+    def __str__(self) -> str:
+        op = self.opcode.value
+        if self.opcode == Opcode.ALU:
+            rhs = f"r{self.rs2}" if self.rs2 is not None else f"#{self.imm}"
+            return f"{self.alu_op.value} r{self.rd}, r{self.rs1}, {rhs}"
+        if self.opcode == Opcode.LOADIMM:
+            return f"li r{self.rd}, #{self.imm}"
+        if self.opcode == Opcode.LOAD:
+            return f"ld r{self.rd}, [r{self.rs1}+{self.imm}]"
+        if self.opcode == Opcode.STORE:
+            return f"st [r{self.rs1}+{self.imm}], r{self.rs2}"
+        if self.opcode == Opcode.BRANCH:
+            return (f"b{self.cond.value} r{self.rs1}, r{self.rs2}, "
+                    f"@{self.target}")
+        if self.opcode == Opcode.JMP:
+            return f"jmp @{self.target}"
+        if self.opcode == Opcode.JMPI:
+            return f"jmpi r{self.rs1}"
+        if self.opcode == Opcode.CLFLUSH:
+            return f"clflush [r{self.rs1}+{self.imm}]"
+        if self.opcode == Opcode.RDTSC:
+            return f"rdtsc r{self.rd}"
+        return op

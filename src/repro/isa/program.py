@@ -1,0 +1,82 @@
+"""Program container: a sequence of instructions laid out in memory."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
+
+
+class Program:
+    """An assembled program.
+
+    Instructions live at ``code_base + index * INSTRUCTION_BYTES``; the
+    mapping between instruction index and virtual PC is fixed so the
+    i-cache and BTB see realistic addresses.
+    """
+
+    def __init__(self, instructions: Sequence[Instruction],
+                 code_base: int = 0x1000,
+                 labels: Optional[Dict[str, int]] = None) -> None:
+        if code_base % INSTRUCTION_BYTES:
+            raise AssemblyError(
+                f"code base {code_base:#x} must be {INSTRUCTION_BYTES}-byte "
+                f"aligned")
+        self.instructions: List[Instruction] = list(instructions)
+        self.code_base = code_base
+        self.labels: Dict[str, int] = dict(labels or {})
+        for name, index in self.labels.items():
+            if not 0 <= index <= len(self.instructions):
+                raise AssemblyError(
+                    f"label {name!r} points outside the program")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def pc_of(self, index: int) -> int:
+        """Virtual PC of the instruction at ``index``."""
+        return self.code_base + index * INSTRUCTION_BYTES
+
+    def index_of(self, pc: int) -> int:
+        """Instruction index at virtual address ``pc``."""
+        offset = pc - self.code_base
+        if offset < 0 or offset % INSTRUCTION_BYTES:
+            raise AssemblyError(f"pc {pc:#x} is not an instruction boundary")
+        return offset // INSTRUCTION_BYTES
+
+    def fetch(self, pc: int) -> Optional[Instruction]:
+        """Instruction at ``pc``, or None when past the end / unmapped."""
+        offset = pc - self.code_base
+        if offset < 0 or offset % INSTRUCTION_BYTES:
+            return None
+        index = offset // INSTRUCTION_BYTES
+        if index >= len(self.instructions):
+            return None
+        return self.instructions[index]
+
+    def label_pc(self, name: str) -> int:
+        """Virtual PC of a label."""
+        if name not in self.labels:
+            raise AssemblyError(f"unknown label {name!r}")
+        return self.pc_of(self.labels[name])
+
+    @property
+    def code_bytes(self) -> int:
+        """Size of the code image in bytes."""
+        return len(self.instructions) * INSTRUCTION_BYTES
+
+    def disassemble(self) -> str:
+        """Human-readable listing (for debugging and docs)."""
+        reverse_labels: Dict[int, List[str]] = {}
+        for name, index in self.labels.items():
+            reverse_labels.setdefault(index, []).append(name)
+        lines = []
+        for index, inst in enumerate(self.instructions):
+            for name in reverse_labels.get(index, ()):
+                lines.append(f"{name}:")
+            lines.append(f"  {self.pc_of(index):#08x}  {inst}")
+        return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""High-level facade: a persistent simulated machine.
+
+A :class:`Machine` owns the long-lived micro-architectural state — memory
+hierarchy, branch predictor, BTB, and (when a SafeSpec policy is active)
+the SafeSpec engine — and runs programs on it.  Running several programs
+in sequence on one machine models consecutive executions on one physical
+core, which is the setting mistraining attacks (Spectre) require::
+
+    machine = Machine(policy=CommitPolicy.WFC)
+    machine.map_user_range(0x10000, 4096)
+    machine.write_word(0x10000, 42)
+    result = machine.run(program)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.policy import CommitPolicy
+from repro.core.safespec import (FullPolicy, SafeSpecConfig, SafeSpecEngine,
+                                 SizingMode)
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.predictors import BimodalPredictor
+from repro.isa.program import Program
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.paging import PagePermissions, PageTable, PrivilegeLevel
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core, RunResult
+
+
+class Machine:
+    """A simulated CPU plus memory system with a selectable commit policy.
+
+    Arguments:
+        policy: ``BASELINE`` (insecure), ``WFB`` or ``WFC``.
+        core_config: pipeline sizing, Table I defaults.
+        hierarchy_config: memory sizing, Table II defaults.
+        safespec_config: full SafeSpec configuration; when given, its
+            ``policy`` overrides the ``policy`` argument.  Use this to
+            select sizing modes / full policies for the TSA experiments.
+    """
+
+    def __init__(self, policy: CommitPolicy = CommitPolicy.BASELINE,
+                 core_config: Optional[CoreConfig] = None,
+                 hierarchy_config: Optional[HierarchyConfig] = None,
+                 safespec_config: Optional[SafeSpecConfig] = None,
+                 page_table: Optional[PageTable] = None,
+                 predictor: str = "bimodal") -> None:
+        self.core_config = core_config or CoreConfig()
+        self.page_table = page_table or PageTable()
+        self.hierarchy = MemoryHierarchy(hierarchy_config, self.page_table)
+        if predictor == "bimodal":
+            self.predictor = BimodalPredictor()
+        elif predictor == "gshare":
+            from repro.frontend.predictors import GsharePredictor
+
+            self.predictor = GsharePredictor()
+        else:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"unknown predictor {predictor!r}; use 'bimodal' or "
+                f"'gshare' (SafeSpec makes no assumption on the predictor)")
+        self.btb = BranchTargetBuffer()
+        if safespec_config is not None:
+            self.policy = safespec_config.policy
+        else:
+            self.policy = policy
+        if self.policy.uses_shadow:
+            config = safespec_config or SafeSpecConfig(policy=self.policy)
+            self.engine: Optional[SafeSpecEngine] = SafeSpecEngine(
+                config, self.hierarchy,
+                ldq_entries=self.core_config.ldq_entries,
+                stq_entries=self.core_config.stq_entries,
+                rob_entries=self.core_config.rob_entries)
+        else:
+            self.engine = None
+
+    # ------------------------------------------------------------------
+    # memory setup helpers
+    # ------------------------------------------------------------------
+
+    def map_user_range(self, start_vaddr: int, size: int) -> None:
+        """Identity-map a user-accessible RWX range."""
+        self.page_table.map_range(start_vaddr, size, PagePermissions())
+
+    def map_kernel_range(self, start_vaddr: int, size: int) -> None:
+        """Identity-map a supervisor-only range (the Meltdown target)."""
+        self.page_table.map_range(
+            start_vaddr, size,
+            PagePermissions(supervisor_only=True))
+
+    def write_word(self, vaddr: int, value: int) -> None:
+        """Write directly to backing memory (test/attack setup)."""
+        translation = self.page_table.lookup(vaddr)
+        if translation is None:
+            raise KeyError(f"vaddr {vaddr:#x} is not mapped")
+        self.hierarchy.memory.write_word(translation.physical(vaddr), value)
+
+    def read_word(self, vaddr: int) -> int:
+        """Read directly from backing memory (result inspection)."""
+        translation = self.page_table.lookup(vaddr)
+        if translation is None:
+            raise KeyError(f"vaddr {vaddr:#x} is not mapped")
+        return self.hierarchy.memory.read_word(translation.physical(vaddr))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, program: Program,
+            max_instructions: Optional[int] = None,
+            privilege: PrivilegeLevel = PrivilegeLevel.USER,
+            fault_handler_pc: Optional[int] = None,
+            initial_registers: Optional[Dict[int, int]] = None,
+            map_code: bool = True) -> RunResult:
+        """Execute ``program`` to completion on this machine.
+
+        ``map_code`` (default) identity-maps the program's code range as
+        executable user pages before running.
+        """
+        if map_code and program.code_bytes:
+            self.page_table.map_range(program.code_base, program.code_bytes)
+        core = Core(
+            program, self.hierarchy,
+            config=self.core_config,
+            predictor=self.predictor,
+            btb=self.btb,
+            engine=self.engine,
+            privilege=privilege,
+            fault_handler_pc=fault_handler_pc,
+            initial_registers=initial_registers,
+        )
+        return core.run(max_instructions=max_instructions)
+
+    # ------------------------------------------------------------------
+    # attacker-visible probes (committed state only)
+    # ------------------------------------------------------------------
+
+    def probe_latency(self, vaddr: int) -> int:
+        """Latency a committed, timed load at ``vaddr`` would see now."""
+        return self.hierarchy.probe_data_latency(vaddr)
+
+    def probe_fetch_latency(self, vaddr: int) -> int:
+        """Latency a committed instruction fetch at ``vaddr`` would see
+        now (receiver for the I-cache attack variant)."""
+        return self.hierarchy.probe_fetch_latency(vaddr)
+
+    def probe_translation_latency(self, vaddr: int, side: str = "d") -> int:
+        """Translation (TLB/page-walk) latency a committed access would
+        see now (receiver for the TLB attack variants)."""
+        return self.hierarchy.probe_translation_latency(side, vaddr)
+
+    def flush_address(self, vaddr: int) -> None:
+        """clflush the line containing ``vaddr`` (attack setup)."""
+        translation = self.page_table.lookup(vaddr)
+        if translation is None:
+            raise KeyError(f"vaddr {vaddr:#x} is not mapped")
+        self.hierarchy.clflush(translation.physical(vaddr))

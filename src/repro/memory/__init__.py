@@ -1,0 +1,20 @@
+"""Memory subsystem: paging, caches, TLBs, DRAM, and the full hierarchy."""
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.dram import MainMemory
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.paging import PagePermissions, PageTable, PrivilegeLevel
+from repro.memory.tlb import TLB, TLBConfig
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheConfig",
+    "MainMemory",
+    "MemoryHierarchy",
+    "PagePermissions",
+    "PageTable",
+    "PrivilegeLevel",
+    "TLB",
+    "TLBConfig",
+]

@@ -1,0 +1,196 @@
+"""Set-associative cache model with true-LRU replacement.
+
+The cache stores *line presence*, not data — data lives in the backing
+:class:`~repro.memory.dram.MainMemory`.  That is sufficient for both timing
+(hit/miss latency) and the side-channel experiments (flush+reload and
+prime+probe observe presence, not contents).
+
+Design notes mapping to the paper:
+
+* ``fill`` is the leaky operation SafeSpec intercepts: in the baseline it
+  is called during speculative execution, in SafeSpec only when shadow
+  state is committed.
+* ``flush_line`` models ``clflush`` (paper Section IV: "with the
+  availability of instructions such as clflush on x86, an attacker is able
+  to evict data").
+* ``probe``/``contains`` are non-perturbing inspection used by the attack
+  receivers and by tests; ``touch`` is the timing-path access that updates
+  replacement state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.statistics import StatRegistry
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    hit_latency: int = 4
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.line_bytes):
+            raise ConfigError(f"{self.name}: line size must be a power of two")
+        if self.size_bytes <= 0 or self.size_bytes % self.line_bytes:
+            raise ConfigError(
+                f"{self.name}: size {self.size_bytes} not a multiple of the "
+                f"line size {self.line_bytes}")
+        lines = self.size_bytes // self.line_bytes
+        if self.associativity <= 0 or lines % self.associativity:
+            raise ConfigError(
+                f"{self.name}: {lines} lines not divisible by "
+                f"associativity {self.associativity}")
+        if not _is_power_of_two(lines // self.associativity):
+            raise ConfigError(f"{self.name}: set count must be a power of two")
+        if self.hit_latency < 1:
+            raise ConfigError(f"{self.name}: hit latency must be >= 1")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // self.line_bytes // self.associativity
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+class Cache:
+    """One set-associative cache level with true-LRU replacement.
+
+    Addresses handed to the cache are *physical* addresses; the caller is
+    responsible for translation.  All methods operate on line granularity.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = StatRegistry(config.name)
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._fills = self.stats.counter("fills")
+        self._evictions = self.stats.counter("evictions")
+        self._flushes = self.stats.counter("flushes")
+        # One OrderedDict per set: line_addr -> True, LRU order = insertion
+        # order with move_to_end on touch.
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+
+    # -- address helpers -------------------------------------------------
+
+    def line_address(self, addr: int) -> int:
+        """Address of the line containing ``addr``."""
+        return addr & ~(self.config.line_bytes - 1)
+
+    def set_index(self, addr: int) -> int:
+        """Set index selected by ``addr``."""
+        line = addr // self.config.line_bytes
+        return line % self.config.num_sets
+
+    # -- timing-path operations ------------------------------------------
+
+    def touch(self, addr: int) -> bool:
+        """Look up ``addr``; update LRU on hit.  Returns hit/miss.
+
+        This is the normal access path: it perturbs replacement state and
+        counts into hit/miss statistics.  It does *not* fill on miss — the
+        hierarchy (or SafeSpec) decides where fills go.
+        """
+        line = self.line_address(addr)
+        cache_set = self._sets[self.set_index(addr)]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self._hits.increment()
+            return True
+        self._misses.increment()
+        return False
+
+    def fill(self, addr: int) -> Optional[int]:
+        """Install the line containing ``addr``.
+
+        Returns the evicted line address when the set was full, else
+        ``None``.  Filling a line that is already present just refreshes
+        its LRU position.
+        """
+        line = self.line_address(addr)
+        cache_set = self._sets[self.set_index(addr)]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return None
+        self._fills.increment()
+        victim: Optional[int] = None
+        if len(cache_set) >= self.config.associativity:
+            victim, _ = cache_set.popitem(last=False)
+            self._evictions.increment()
+        cache_set[line] = True
+        return victim
+
+    # -- non-perturbing inspection ----------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        """Whether the line holding ``addr`` is present (no LRU update)."""
+        line = self.line_address(addr)
+        return line in self._sets[self.set_index(addr)]
+
+    def probe_set(self, addr: int) -> Tuple[int, ...]:
+        """Resident line addresses of the set selected by ``addr``
+        (LRU-first order), without perturbing state."""
+        return tuple(self._sets[self.set_index(addr)])
+
+    def occupancy(self) -> int:
+        """Total number of resident lines."""
+        return sum(len(s) for s in self._sets)
+
+    # -- invalidation ------------------------------------------------------
+
+    def flush_line(self, addr: int) -> bool:
+        """Evict the line containing ``addr`` (clflush).  Returns whether
+        the line was present."""
+        line = self.line_address(addr)
+        cache_set = self._sets[self.set_index(addr)]
+        if line in cache_set:
+            del cache_set[line]
+            self._flushes.increment()
+            return True
+        return False
+
+    def flush_all(self) -> None:
+        """Invalidate the entire cache."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def accesses(self) -> int:
+        return self._hits.value + self._misses.value
+
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self._misses.value / total if total else 0.0
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (f"Cache({cfg.name}, {cfg.size_bytes // 1024}KB, "
+                f"{cfg.associativity}-way, {cfg.num_sets} sets)")

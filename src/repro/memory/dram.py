@@ -1,0 +1,52 @@
+"""Main memory: a sparse byte-addressable backing store with fixed latency.
+
+Word accesses use a fixed 8-byte little-endian word size — wide enough for
+the pointer and secret values the attack PoCs move around, and irrelevant
+to timing (timing is per-access, not per-byte).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigError
+
+WORD_BYTES = 8
+
+
+class MainMemory:
+    """Sparse physical memory.
+
+    Reads of never-written locations return 0, like zero-filled pages.
+    ``latency`` is the access cost charged by the hierarchy on an LLC miss
+    (191 cycles in the paper's Table II).
+    """
+
+    def __init__(self, latency: int = 191) -> None:
+        if latency < 1:
+            raise ConfigError(f"memory latency must be >= 1, got {latency}")
+        self.latency = latency
+        self._bytes: Dict[int, int] = {}
+
+    def read_byte(self, paddr: int) -> int:
+        return self._bytes.get(paddr, 0)
+
+    def write_byte(self, paddr: int, value: int) -> None:
+        self._bytes[paddr] = value & 0xFF
+
+    def read_word(self, paddr: int) -> int:
+        """Read a little-endian 8-byte word."""
+        value = 0
+        for i in range(WORD_BYTES):
+            value |= self._bytes.get(paddr + i, 0) << (8 * i)
+        return value
+
+    def write_word(self, paddr: int, value: int) -> None:
+        """Write a little-endian 8-byte word (value taken modulo 2**64)."""
+        value &= (1 << (8 * WORD_BYTES)) - 1
+        for i in range(WORD_BYTES):
+            self._bytes[paddr + i] = (value >> (8 * i)) & 0xFF
+
+    def footprint(self) -> int:
+        """Number of distinct bytes ever written."""
+        return len(self._bytes)

@@ -1,0 +1,127 @@
+"""Virtual memory: page tables, permissions, and privilege levels.
+
+The model is deliberately flat (a single-level mapping of virtual page
+number to physical page number plus permission bits) but preserves the one
+property the Meltdown attack depends on: a *supervisor* page can be walked
+and translated by user code — the permission violation is only detected
+when the faulting load reaches commit (property P1 in the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+
+class PrivilegeLevel(enum.IntEnum):
+    """Execution privilege of the running code."""
+
+    USER = 0
+    SUPERVISOR = 1
+
+
+@dataclass(frozen=True)
+class PagePermissions:
+    """Permission bits attached to one page mapping."""
+
+    readable: bool = True
+    writable: bool = True
+    executable: bool = True
+    supervisor_only: bool = False
+
+    def allows(self, *, write: bool, execute: bool,
+               privilege: PrivilegeLevel) -> bool:
+        """Whether an access of the given kind is architecturally legal."""
+        if self.supervisor_only and privilege != PrivilegeLevel.SUPERVISOR:
+            return False
+        if execute:
+            return self.executable
+        if write:
+            return self.writable
+        return self.readable
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Result of a successful page walk."""
+
+    vpn: int
+    ppn: int
+    permissions: PagePermissions
+
+    def physical(self, vaddr: int) -> int:
+        """Translate a virtual address inside this page."""
+        return (self.ppn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
+
+
+class PageTable:
+    """A flat virtual -> physical page mapping with permission bits.
+
+    ``walk_levels`` controls the page-walk latency charged by the memory
+    hierarchy (each level costs one dependent memory access).
+    """
+
+    def __init__(self, walk_levels: int = 4) -> None:
+        if walk_levels < 1:
+            raise ConfigError(f"walk_levels must be >= 1, got {walk_levels}")
+        self.walk_levels = walk_levels
+        self._entries: Dict[int, Translation] = {}
+
+    def map_page(self, vpn: int, ppn: Optional[int] = None,
+                 permissions: Optional[PagePermissions] = None) -> Translation:
+        """Install a mapping for virtual page ``vpn``.
+
+        ``ppn`` defaults to an identity mapping; ``permissions`` default to
+        full user access.  Returns the installed :class:`Translation`.
+        """
+        if vpn < 0:
+            raise ConfigError(f"virtual page number must be >= 0, got {vpn}")
+        entry = Translation(
+            vpn=vpn,
+            ppn=vpn if ppn is None else ppn,
+            permissions=permissions or PagePermissions(),
+        )
+        self._entries[vpn] = entry
+        return entry
+
+    def map_range(self, start_vaddr: int, size: int,
+                  permissions: Optional[PagePermissions] = None) -> None:
+        """Identity-map every page overlapping [start_vaddr, start_vaddr+size)."""
+        if size <= 0:
+            raise ConfigError(f"size must be > 0, got {size}")
+        first = start_vaddr >> PAGE_SHIFT
+        last = (start_vaddr + size - 1) >> PAGE_SHIFT
+        for vpn in range(first, last + 1):
+            self.map_page(vpn, permissions=permissions)
+
+    def lookup(self, vaddr: int) -> Optional[Translation]:
+        """Return the translation covering ``vaddr`` or ``None`` if unmapped.
+
+        Note: *no* permission check happens here.  Translations for
+        supervisor pages are returned to user-mode walkers; legality is
+        evaluated separately (and, in the pipeline, only at commit).
+        """
+        return self._entries.get(vaddr >> PAGE_SHIFT)
+
+    def is_mapped(self, vaddr: int) -> bool:
+        return (vaddr >> PAGE_SHIFT) in self._entries
+
+    def mapped_pages(self) -> int:
+        """Number of installed page mappings."""
+        return len(self._entries)
+
+
+def vpn_of(vaddr: int) -> int:
+    """Virtual page number of an address."""
+    return vaddr >> PAGE_SHIFT
+
+
+def page_offset(vaddr: int) -> int:
+    """Offset of an address within its page."""
+    return vaddr & (PAGE_SIZE - 1)

@@ -1,0 +1,7 @@
+"""The out-of-order core: config, micro-ops, ROB, LSQ, issue, cycle loop."""
+
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core, RunResult
+from repro.pipeline.uop import DynUop, UopState
+
+__all__ = ["Core", "CoreConfig", "DynUop", "RunResult", "UopState"]

@@ -1,0 +1,68 @@
+"""Core configuration — Table I of the paper (Skylake-like).
+
+The default values reproduce the paper's simulated CPU:
+
+===========  ==========================================
+Parameter    Configuration
+===========  ==========================================
+CPU          SkyLake
+Issue        6-way issue
+IQ           96-entry Issue Queue
+Commit       Up to 6 micro-ops/cycle
+ROB          224-entry Reorder Buffer
+iTLB         64-entry (in HierarchyConfig)
+dTLB         64-entry (in HierarchyConfig)
+LDQ          72-entry
+STQ          56-entry
+===========  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Sizing and timing of the out-of-order engine."""
+
+    fetch_width: int = 6
+    issue_width: int = 6
+    commit_width: int = 6
+    rob_entries: int = 224
+    iq_entries: int = 96
+    ldq_entries: int = 72
+    stq_entries: int = 56
+
+    # functional units
+    int_alus: int = 4
+    mul_units: int = 1
+    load_ports: int = 2
+    store_ports: int = 1
+    branch_units: int = 2
+
+    # latencies (cycles)
+    alu_latency: int = 1
+    mul_latency: int = 3
+    front_end_depth: int = 5        # fetch -> dispatchable delay
+    mispredict_penalty: int = 12    # squash -> first refetched instruction
+    store_forward_latency: int = 4  # store-queue forwarding to a load
+
+    # safety valve for runaway simulations
+    max_cycles: int = 20_000_000
+
+    def __post_init__(self) -> None:
+        positive_fields = [
+            "fetch_width", "issue_width", "commit_width", "rob_entries",
+            "iq_entries", "ldq_entries", "stq_entries", "int_alus",
+            "mul_units", "load_ports", "store_ports", "branch_units",
+            "alu_latency", "mul_latency", "front_end_depth",
+            "mispredict_penalty", "store_forward_latency", "max_cycles",
+        ]
+        for name in positive_fields:
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if self.rob_entries < self.iq_entries:
+            raise ConfigError("ROB must be at least as large as the IQ")

@@ -1,0 +1,91 @@
+"""Issue queue and functional-unit availability."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import SimulationError
+from repro.isa.instructions import InstructionClass
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.uop import DynUop, UopState
+
+
+class FunctionalUnits:
+    """Per-cycle issue-slot accounting for each unit class."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self._capacity: Dict[InstructionClass, int] = {
+            InstructionClass.INT: config.int_alus,
+            InstructionClass.MUL: config.mul_units,
+            InstructionClass.LOAD: config.load_ports,
+            InstructionClass.STORE: config.store_ports,
+            InstructionClass.BRANCH: config.branch_units,
+            InstructionClass.SYSTEM: 1,
+        }
+        self._used: Dict[InstructionClass, int] = {}
+
+    def new_cycle(self) -> None:
+        """Release every unit for the next cycle (fully pipelined units)."""
+        self._used = {cls: 0 for cls in self._capacity}
+
+    def try_claim(self, inst_class: InstructionClass) -> bool:
+        """Claim an issue slot of the given class if one remains."""
+        if self._used.get(inst_class, 0) >= self._capacity[inst_class]:
+            return False
+        self._used[inst_class] = self._used.get(inst_class, 0) + 1
+        return True
+
+
+class IssueQueue:
+    """A bounded window of dispatched, not-yet-issued micro-ops.
+
+    Readiness is wakeup-driven: micro-ops enter the ready list when their
+    pending producer count reaches zero (at dispatch, or when the last
+    producer's writeback wakes them), so the scheduler never polls
+    waiting entries.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: List[DynUop] = []
+        self._ready: List[DynUop] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DynUop]:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def add(self, uop: DynUop) -> None:
+        if self.full:
+            raise SimulationError("IQ overflow — dispatch must check full")
+        self._entries.append(uop)
+        if uop.pending == 0:
+            self._ready.append(uop)
+
+    def wake(self, uop: DynUop) -> None:
+        """A producer finished: move the micro-op to the ready list."""
+        if uop.state is UopState.DISPATCHED and uop.pending == 0:
+            self._ready.append(uop)
+
+    def remove(self, uop: DynUop) -> None:
+        self._entries.remove(uop)
+        try:
+            self._ready.remove(uop)
+        except ValueError:
+            pass
+
+    def drop_squashed(self) -> None:
+        self._entries = [u for u in self._entries
+                         if u.state != UopState.SQUASHED]
+        self._ready = [u for u in self._ready
+                       if u.state != UopState.SQUASHED]
+
+    def ready_uops(self) -> List[DynUop]:
+        """Micro-ops whose operands are all available, oldest first."""
+        self._ready.sort(key=lambda u: u.seq)
+        return list(self._ready)

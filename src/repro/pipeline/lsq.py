@@ -1,0 +1,105 @@
+"""Load and store queues with store-to-load forwarding.
+
+The store queue implements the paper's TSO note (Section IV-B): "the cache
+is not updated until the store commits, making stores robust to
+speculation attacks" — store *data* only reaches the memory system at
+commit.  Store *address translation* still happens at execute and is
+speculative state (a dTLB fill) that SafeSpec shadows.
+
+Disambiguation is conservative: a load may not issue while any older
+store's address is unknown; once all older store addresses are known the
+youngest matching store forwards its data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.pipeline.uop import DynUop, UopState
+
+
+class LoadStoreQueue:
+    """Combined LDQ/STQ bookkeeping (separately bounded)."""
+
+    def __init__(self, ldq_entries: int, stq_entries: int,
+                 word_bytes: int = 8) -> None:
+        self.ldq_capacity = ldq_entries
+        self.stq_capacity = stq_entries
+        self._word_bytes = word_bytes
+        self._loads: List[DynUop] = []
+        self._stores: List[DynUop] = []
+
+    # -- occupancy ---------------------------------------------------------
+
+    @property
+    def ldq_full(self) -> bool:
+        return len(self._loads) >= self.ldq_capacity
+
+    @property
+    def stq_full(self) -> bool:
+        return len(self._stores) >= self.stq_capacity
+
+    def load_count(self) -> int:
+        return len(self._loads)
+
+    def store_count(self) -> int:
+        return len(self._stores)
+
+    # -- insertion / removal -------------------------------------------------
+
+    def add_load(self, uop: DynUop) -> None:
+        self._loads.append(uop)
+
+    def add_store(self, uop: DynUop) -> None:
+        self._stores.append(uop)
+
+    def remove(self, uop: DynUop) -> None:
+        """Remove a committed or squashed micro-op from its queue."""
+        if uop.is_load:
+            if uop in self._loads:
+                self._loads.remove(uop)
+        elif uop in self._stores:
+            self._stores.remove(uop)
+
+    def drop_squashed(self) -> None:
+        """Purge every squashed entry (called after a pipeline squash)."""
+        self._loads = [u for u in self._loads
+                       if u.state != UopState.SQUASHED]
+        self._stores = [u for u in self._stores
+                        if u.state != UopState.SQUASHED]
+
+    # -- disambiguation ---------------------------------------------------
+
+    def _overlaps(self, addr_a: int, addr_b: int) -> bool:
+        """Whether two word accesses overlap."""
+        return abs(addr_a - addr_b) < self._word_bytes
+
+    def older_store_blocks(self, load: DynUop) -> bool:
+        """True while any older store has an unresolved address."""
+        for store in self._stores:
+            if store.seq >= load.seq:
+                continue
+            if store.state == UopState.SQUASHED:
+                continue
+            if store.vaddr is None:
+                return True
+        return False
+
+    def forward_from_store(self, load: DynUop) -> Optional[Tuple[int, DynUop]]:
+        """Value forwarded by the youngest older store to the same word.
+
+        Returns ``(value, store)`` or ``None``.  Must only be called once
+        :meth:`older_store_blocks` is False.
+        """
+        best: Optional[DynUop] = None
+        for store in self._stores:
+            if store.seq >= load.seq or store.state == UopState.SQUASHED:
+                continue
+            if store.vaddr is None or load.vaddr is None:
+                continue
+            if self._overlaps(store.vaddr, load.vaddr):
+                if best is None or store.seq > best.seq:
+                    best = store
+        if best is None or best.store_value is None:
+            return None
+        return best.store_value, best

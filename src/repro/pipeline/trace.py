@@ -1,0 +1,130 @@
+"""Pipeline event tracing.
+
+A :class:`PipelineTracer` hooks a :class:`~repro.pipeline.core.Core` and
+records one :class:`TraceEvent` per pipeline action (fetch, dispatch,
+issue, writeback, commit, squash, fault) — the standard debugging aid of
+every production simulator.  Events can be filtered by kind or sequence
+range and rendered as a per-instruction timeline.
+
+Usage::
+
+    core = Core(program, hierarchy, ...)
+    tracer = PipelineTracer().attach(core)
+    core.run()
+    print(tracer.render_timeline(limit=20))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.pipeline.core import Core
+from repro.pipeline.uop import DynUop
+
+EVENT_KINDS = ("fetch", "dispatch", "issue", "writeback", "commit",
+               "squash", "fault")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One pipeline event."""
+
+    cycle: int
+    kind: str
+    seq: int
+    pc: int
+    text: str
+
+    def __str__(self) -> str:
+        return (f"{self.cycle:8d}  {self.kind:9s} #{self.seq:<6d} "
+                f"{self.pc:#08x}  {self.text}")
+
+
+class PipelineTracer:
+    """Records pipeline events by wrapping a core's stage methods."""
+
+    def __init__(self, kinds: Optional[List[str]] = None,
+                 max_events: int = 100_000) -> None:
+        for kind in kinds or ():
+            if kind not in EVENT_KINDS:
+                raise ConfigError(f"unknown event kind {kind!r}")
+        self._kinds = set(kinds) if kinds else set(EVENT_KINDS)
+        self._max_events = max_events
+        self.events: List[TraceEvent] = []
+        self._core: Optional[Core] = None
+        self._saved: Dict[str, Callable] = {}
+
+    # ------------------------------------------------------------------
+
+    def attach(self, core: Core) -> "PipelineTracer":
+        """Start recording events from ``core``."""
+        if self._core is not None:
+            raise ConfigError("tracer is already attached")
+        self._core = core
+        self._wrap("_fetch_instruction_line", "fetch",
+                   lambda uop, _r: str(uop.inst))
+        self._wrap("_dispatch_uop", "dispatch",
+                   lambda uop, _r: f"deps={sorted(uop.producers)}")
+        self._wrap("_execute", "issue", lambda uop, _r: str(uop.inst))
+        self._wrap("_commit_uop", "commit", lambda uop, _r: str(uop.inst))
+        self._wrap("_discard_uop", "squash", lambda uop, _r: str(uop.inst))
+        self._wrap("_raise_fault", "fault",
+                   lambda uop, _r: f"{uop.fault} @ {uop.vaddr:#x}"
+                   if uop.vaddr is not None else str(uop.fault))
+        return self
+
+    def detach(self) -> List[TraceEvent]:
+        """Stop recording; returns the captured events."""
+        if self._core is None:
+            raise ConfigError("tracer is not attached")
+        for name, original in self._saved.items():
+            delattr(self._core, name)
+        self._saved.clear()
+        self._core = None
+        return self.events
+
+    def _wrap(self, method_name: str, kind: str,
+              describe: Callable[[DynUop, object], str]) -> None:
+        core = self._core
+        original = getattr(core, method_name)
+        self._saved[method_name] = original
+        tracer = self
+
+        def wrapped(uop: DynUop, *args, **kwargs):
+            result = original(uop, *args, **kwargs)
+            if kind in tracer._kinds and \
+                    len(tracer.events) < tracer._max_events:
+                tracer.events.append(TraceEvent(
+                    cycle=core.cycle, kind=kind, seq=uop.seq, pc=uop.pc,
+                    text=describe(uop, result)))
+            return result
+
+        setattr(core, method_name, wrapped)
+
+    # ------------------------------------------------------------------
+
+    def filter(self, kind: Optional[str] = None,
+               seq: Optional[int] = None) -> List[TraceEvent]:
+        """Events matching a kind and/or a micro-op sequence number."""
+        selected = self.events
+        if kind is not None:
+            selected = [e for e in selected if e.kind == kind]
+        if seq is not None:
+            selected = [e for e in selected if e.seq == seq]
+        return list(selected)
+
+    def lifetime(self, seq: int) -> List[TraceEvent]:
+        """Every event of one dynamic instruction, in order."""
+        return self.filter(seq=seq)
+
+    def render_timeline(self, limit: int = 50) -> str:
+        """A readable event log (first ``limit`` events)."""
+        header = (f"{'cycle':>8s}  {'event':9s} {'seq':7s} "
+                  f"{'pc':8s}  detail")
+        lines = [header, "-" * len(header)]
+        lines += [str(event) for event in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Dynamic micro-op state tracked through the pipeline."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Set, TYPE_CHECKING
+
+from repro.isa.instructions import Instruction, InstructionClass, Opcode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    pass
+
+
+class UopState(enum.Enum):
+    """Lifecycle of a dynamic micro-op."""
+
+    FETCHED = "fetched"        # in the front-end buffer
+    DISPATCHED = "dispatched"  # in ROB + IQ, waiting for operands
+    ISSUED = "issued"          # executing on a functional unit
+    DONE = "done"              # result produced, waiting to commit
+    COMMITTED = "committed"
+    SQUASHED = "squashed"
+
+
+class DynUop:
+    """One dynamic instance of an instruction in flight.
+
+    The core manipulates these objects directly; they are not part of the
+    public API but their fields are documented because the SafeSpec engine
+    and the analysis code read them.
+    """
+
+    __slots__ = (
+        "seq", "inst", "pc", "index", "state",
+        "fetch_cycle", "dispatch_cycle", "issue_cycle", "done_cycle",
+        "commit_cycle",
+        "pred_taken", "pred_target", "actual_taken", "actual_target",
+        "mispredicted", "btb_predicted",
+        "operands", "producers", "result", "pending", "waiters",
+        "vaddr", "paddr", "store_value", "fault", "mem_latency",
+        "hit_level", "forwarded", "ifetch_level", "ifetch_line",
+        "dwalked", "iwalked",
+        "branch_deps", "promoted", "blocked_on_shadow",
+    )
+
+    def __init__(self, seq: int, inst: Instruction, pc: int, index: int,
+                 fetch_cycle: int) -> None:
+        self.seq = seq
+        self.inst = inst
+        self.pc = pc
+        self.index = index
+        self.state = UopState.FETCHED
+
+        self.fetch_cycle = fetch_cycle
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.done_cycle = -1
+        self.commit_cycle = -1
+
+        # control flow
+        self.pred_taken = False
+        self.pred_target: Optional[int] = None
+        self.actual_taken = False
+        self.actual_target: Optional[int] = None
+        self.mispredicted = False
+        self.btb_predicted = False
+
+        # data flow: register -> resolved value, or register -> producer
+        self.operands: Dict[int, int] = {}
+        self.producers: Dict[int, "DynUop"] = {}
+        self.result: Optional[int] = None
+        self.pending = 0                  # producers still outstanding
+        self.waiters: list = []           # consumers to wake when done
+
+        # memory
+        self.vaddr: Optional[int] = None
+        self.paddr: Optional[int] = None
+        self.store_value: Optional[int] = None
+        self.fault: Optional[str] = None
+        self.mem_latency = 0
+        self.hit_level = ""
+        self.forwarded = False
+        self.ifetch_level = ""
+        self.ifetch_line = -1
+        self.dwalked = False
+        self.iwalked = False
+
+        # speculation bookkeeping
+        self.branch_deps: Set[int] = set()
+        self.promoted = False            # WFB: shadow state already moved
+        self.blocked_on_shadow = False   # stalled by a full shadow structure
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def opcode(self) -> Opcode:
+        return self.inst.opcode
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.opcode == Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.opcode == Opcode.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.inst.is_control_flow
+
+    @property
+    def is_serialising(self) -> bool:
+        """RDTSC and FENCE issue only when oldest in the ROB."""
+        return self.inst.opcode in (Opcode.RDTSC, Opcode.FENCE)
+
+    @property
+    def inst_class(self) -> InstructionClass:
+        return self.inst.inst_class
+
+    @property
+    def in_flight(self) -> bool:
+        return self.state in (UopState.DISPATCHED, UopState.ISSUED,
+                              UopState.DONE)
+
+    # -- operand readiness ---------------------------------------------------
+
+    def operands_ready(self) -> bool:
+        """All source registers have values (producers finished).
+
+        Readiness is tracked by wakeup: producers decrement ``pending``
+        at writeback, so this check is O(1).
+        """
+        return self.pending == 0
+
+    def source_value(self, reg: int) -> int:
+        """Resolved value of a source register (call once ready).
+
+        Values either arrived at dispatch (architectural registers and
+        already-finished producers) or are pulled from the producer's
+        result here.
+        """
+        if reg in self.operands:
+            return self.operands[reg]
+        return self.producers[reg].result
+
+    def __repr__(self) -> str:
+        return (f"DynUop(#{self.seq} pc={self.pc:#x} {self.inst} "
+                f"{self.state.value})")

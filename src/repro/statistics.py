@@ -1,0 +1,177 @@
+"""Lightweight statistics primitives used across the simulator.
+
+The simulator records everything through three primitives:
+
+* :class:`Counter` — a named monotonically increasing integer.
+* :class:`Histogram` — a value -> count map with percentile queries
+  (used for shadow-occupancy sizing, Figures 6-9 of the paper).
+* :class:`StatRegistry` — a named collection of the above, owned by each
+  simulated component, that can be merged and rendered.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+
+class Counter:
+    """A named monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A discrete histogram with percentile queries.
+
+    Values are arbitrary non-negative integers (e.g. per-cycle occupancy of
+    a shadow structure).  Storage is sparse so very large value domains are
+    cheap as long as the number of *distinct* values stays modest.
+    """
+
+    __slots__ = ("name", "_buckets", "_total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._buckets: Dict[int, int] = {}
+        self._total = 0
+
+    def record(self, value: int, count: int = 1) -> None:
+        """Record ``count`` observations of ``value``."""
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative value {value}")
+        self._buckets[value] = self._buckets.get(value, 0) + count
+        self._total += count
+
+    @property
+    def total(self) -> int:
+        """Total number of recorded observations."""
+        return self._total
+
+    @property
+    def max(self) -> int:
+        """Largest observed value (0 when empty)."""
+        return max(self._buckets) if self._buckets else 0
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        if not self._total:
+            return 0.0
+        return sum(v * c for v, c in self._buckets.items()) / self._total
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest value v such that P(X <= v) >= ``fraction``.
+
+        ``fraction`` is in [0, 1].  This is the paper's sizing rule: the
+        shadow-structure size "that can fit 99.99% of the accesses" is
+        ``percentile(0.9999)``.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self._buckets:
+            return 0
+        threshold = fraction * self._total
+        running = 0
+        for value in sorted(self._buckets):
+            running += self._buckets[value]
+            if running >= threshold:
+                return value
+        return self.max
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (value, count) pairs in increasing value order."""
+        return iter(sorted(self._buckets.items()))
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        for value, count in other._buckets.items():
+            self.record(value, count)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}, n={self._total}, max={self.max}, "
+            f"mean={self.mean:.2f})"
+        )
+
+
+class StatRegistry:
+    """A named collection of counters and histograms.
+
+    Components create their stats through the registry so that a simulation
+    run can be summarised uniformly::
+
+        stats = StatRegistry("l1d")
+        hits = stats.counter("hits")
+        ...
+        print(stats.as_dict())
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called ``name``, creating it if needed."""
+        if name not in self._counters:
+            self._counters[name] = Counter(f"{self.name}.{name}")
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Return the histogram called ``name``, creating it if needed."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(f"{self.name}.{name}")
+        return self._histograms[name]
+
+    def counters(self) -> Iterable[Counter]:
+        return self._counters.values()
+
+    def histograms(self) -> Iterable[Histogram]:
+        return self._histograms.values()
+
+    def reset(self) -> None:
+        """Zero every counter and drop every histogram observation."""
+        for counter in self._counters.values():
+            counter.reset()
+        for name in list(self._histograms):
+            self._histograms[name] = Histogram(f"{self.name}.{name}")
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flatten counters into a plain dict (histograms excluded)."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def __repr__(self) -> str:
+        return f"StatRegistry({self.name}, {len(self._counters)} counters)"
+
+
+def ratio(numerator: int, denominator: int) -> float:
+    """``numerator / denominator`` with a defined value (0.0) for 0/0."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,101 @@
+"""Per-benchmark workload parameter profiles.
+
+Each profile shapes the synthetic generator along five axes:
+
+* ``working_set_kb`` — size of the data region the loads sweep; drives
+  d-cache/L2/L3 miss rates (mcf/omnetpp large; namd/exchange2 small).
+* ``pointer_chase_fraction`` — fraction of loads whose address depends on
+  the previous load's value (serial, unpredictable misses; mcf-like).
+* ``branch_fraction`` / ``branch_entropy`` — density of conditional
+  branches and how random their data-dependent outcomes are (deepsjeng /
+  x264 branchy and hard to predict; lbm streaming and branch-light).
+* ``code_kb`` — static code footprint the control flow hops around;
+  drives i-cache pressure (gcc/perlbench/xalancbmk large code).
+* ``store_fraction`` — store density (pop2/cam4 write-heavy phases).
+
+The classification (memory-bound vs compute vs branchy vs code-heavy)
+follows the broadly reported behaviour of SPEC CPU2017 components; exact
+values are not calibrated against SPEC measurements — the suite's job is
+to exercise the same micro-architectural mechanisms across a realistic
+*spread* of behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Generator parameters for one synthetic benchmark."""
+
+    name: str
+    working_set_kb: int
+    pointer_chase_fraction: float
+    branch_fraction: float
+    branch_entropy: float        # 0 = perfectly predictable, 1 = coin flip
+    code_kb: int
+    store_fraction: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.working_set_kb <= 0 or self.code_kb <= 0:
+            raise ConfigError(f"{self.name}: sizes must be positive")
+        for field_name in ("pointer_chase_fraction", "branch_fraction",
+                           "branch_entropy", "store_fraction"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"{self.name}: {field_name} must be in [0, 1]")
+
+
+def _p(name: str, ws: int, chase: float, br: float, ent: float,
+       code: int, st: float, seed: int) -> WorkloadProfile:
+    return WorkloadProfile(name, ws, chase, br, ent, code, st, seed)
+
+
+# The paper's Figure 6-16 benchmark list, in the paper's order.
+SUITE_PROFILES: List[WorkloadProfile] = [
+    # SPECspeed/rate INT
+    _p("perlbench", ws=96,   chase=0.05, br=0.22, ent=0.25, code=96, st=0.12, seed=101),
+    _p("mcf",       ws=2048, chase=0.45, br=0.15, ent=0.35, code=12, st=0.08, seed=102),
+    _p("omnetpp",   ws=1024, chase=0.30, br=0.18, ent=0.30, code=48, st=0.12, seed=103),
+    _p("xalancbmk", ws=256,  chase=0.15, br=0.22, ent=0.25, code=112, st=0.10, seed=104),
+    _p("x264",      ws=128,  chase=0.02, br=0.25, ent=0.40, code=40, st=0.15, seed=105),
+    _p("deepsjeng", ws=192,  chase=0.10, br=0.28, ent=0.45, code=32, st=0.10, seed=106),
+    _p("exchange2", ws=24,   chase=0.00, br=0.30, ent=0.20, code=24, st=0.12, seed=107),
+    _p("xz",        ws=512,  chase=0.12, br=0.20, ent=0.35, code=16, st=0.12, seed=108),
+    # SPECspeed/rate FP
+    _p("bwaves",    ws=1024, chase=0.00, br=0.06, ent=0.05, code=12, st=0.18, seed=109),
+    _p("cactuBSSN", ws=512,  chase=0.02, br=0.08, ent=0.10, code=56, st=0.18, seed=110),
+    _p("namd",      ws=48,   chase=0.00, br=0.10, ent=0.10, code=24, st=0.12, seed=111),
+    _p("povray",    ws=32,   chase=0.05, br=0.20, ent=0.20, code=48, st=0.10, seed=112),
+    _p("lbm",       ws=1536, chase=0.00, br=0.04, ent=0.05, code=8,  st=0.25, seed=113),
+    _p("wrf",       ws=384,  chase=0.02, br=0.10, ent=0.12, code=96, st=0.15, seed=114),
+    _p("blender",   ws=256,  chase=0.08, br=0.18, ent=0.25, code=80, st=0.12, seed=115),
+    _p("cam4",      ws=320,  chase=0.02, br=0.12, ent=0.15, code=88, st=0.18, seed=116),
+    _p("pop2",      ws=384,  chase=0.02, br=0.10, ent=0.12, code=72, st=0.20, seed=117),
+    _p("imagick",   ws=96,   chase=0.00, br=0.12, ent=0.10, code=32, st=0.15, seed=118),
+    _p("nab",       ws=64,   chase=0.02, br=0.12, ent=0.15, code=24, st=0.12, seed=119),
+    _p("fotonik3d", ws=768,  chase=0.00, br=0.06, ent=0.06, code=16, st=0.18, seed=120),
+    _p("roms",      ws=640,  chase=0.00, br=0.08, ent=0.08, code=24, st=0.18, seed=121),
+    _p("gcc",       ws=192,  chase=0.12, br=0.24, ent=0.30, code=128, st=0.10, seed=122),
+]
+
+_BY_NAME: Dict[str, WorkloadProfile] = {p.name: p for p in SUITE_PROFILES}
+
+
+def suite_names() -> List[str]:
+    """Benchmark names in the paper's plotting order."""
+    return [profile.name for profile in SUITE_PROFILES]
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    """Look up one profile by benchmark name."""
+    if name not in _BY_NAME:
+        raise ConfigError(
+            f"unknown workload {name!r}; choose from {suite_names()}")
+    return _BY_NAME[name]

@@ -1,0 +1,105 @@
+"""Running workloads and collecting the metrics the figures need."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.core.policy import CommitPolicy
+from repro.core.safespec import SafeSpecConfig
+from repro.machine import Machine
+from repro.pipeline.core import RunResult
+from repro.statistics import Histogram, ratio
+from repro.workloads.generator import generate_program, WorkloadProgram
+from repro.workloads.profiles import WorkloadProfile, profile_by_name
+
+DEFAULT_INSTRUCTION_BUDGET = 20_000
+
+
+@dataclass
+class WorkloadRun:
+    """One workload execution plus the derived per-figure metrics."""
+
+    workload: str
+    policy: CommitPolicy
+    result: RunResult
+    shadow_occupancy: Dict[str, Histogram] = field(default_factory=dict)
+    shadow_commit_rates: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.result.ipc
+
+    def _counter(self, name: str) -> int:
+        return self.result.counters.get(name, 0)
+
+    @property
+    def dcache_read_miss_rate(self) -> float:
+        """Figure 12: read miss rate including the shadow d-cache."""
+        return ratio(self._counter("dcache_read_misses"),
+                     self._counter("dcache_read_accesses"))
+
+    @property
+    def dcache_shadow_hit_fraction(self) -> float:
+        """Figure 13: fraction of read hits that hit the shadow."""
+        hits = (self._counter("dcache_l1_hits")
+                + self._counter("dcache_shadow_hits"))
+        return ratio(self._counter("dcache_shadow_hits"), hits)
+
+    @property
+    def icache_miss_rate(self) -> float:
+        """Figure 14: i-cache miss rate including the shadow i-cache."""
+        return ratio(self._counter("icache_misses"),
+                     self._counter("icache_accesses"))
+
+    @property
+    def icache_shadow_hit_fraction(self) -> float:
+        """Figure 15: fraction of i-cache hits that hit the shadow."""
+        hits = (self._counter("icache_l1_hits")
+                + self._counter("icache_shadow_hits"))
+        return ratio(self._counter("icache_shadow_hits"), hits)
+
+    def shadow_size_percentile(self, structure: str,
+                               fraction: float = 0.9999) -> int:
+        """Figures 6-9: shadow size covering ``fraction`` of cycles."""
+        histogram = self.shadow_occupancy.get(structure)
+        return histogram.percentile(fraction) if histogram else 0
+
+    def shadow_commit_rate(self, structure: str) -> float:
+        """Figure 16: committed fraction of retired shadow entries."""
+        return self.shadow_commit_rates.get(structure, 0.0)
+
+
+def run_workload(workload: Union[str, WorkloadProfile, WorkloadProgram],
+                 policy: CommitPolicy = CommitPolicy.BASELINE,
+                 instructions: int = DEFAULT_INSTRUCTION_BUDGET,
+                 safespec_config: Optional[SafeSpecConfig] = None,
+                 ) -> WorkloadRun:
+    """Run one workload on a fresh machine under the given policy.
+
+    ``workload`` may be a suite benchmark name, a profile, or an
+    already-generated :class:`WorkloadProgram`.
+    """
+    if isinstance(workload, str):
+        workload = profile_by_name(workload)
+    if isinstance(workload, WorkloadProfile):
+        workload = generate_program(workload)
+    machine = Machine(policy=policy, safespec_config=safespec_config)
+    workload.apply_memory_image(machine)
+    result = machine.run(workload.program, max_instructions=instructions)
+
+    occupancy: Dict[str, Histogram] = {}
+    commit_rates: Dict[str, float] = {}
+    if machine.engine is not None:
+        for structure in machine.engine.all_structures():
+            occupancy[structure.name] = structure.occupancy_histogram
+            commit_rates[structure.name] = structure.commit_rate()
+    return WorkloadRun(
+        workload=workload.profile.name,
+        policy=policy,
+        result=result,
+        shadow_occupancy=occupancy,
+        shadow_commit_rates=commit_rates,
+    )

@@ -1,0 +1,138 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.cache import Cache, CacheConfig
+
+
+def small_cache(assoc=2, sets=4, line=64):
+    return Cache(CacheConfig("test", sets * assoc * line, assoc, line, 4))
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig("c", 32 * 1024, 8, 64, 4)
+        assert cfg.num_sets == 64
+        assert cfg.num_lines == 512
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("c", 1024, 2, 48, 4)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("c", 1000, 2, 64, 4)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("c", 1024, 3, 64, 4)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("c", 1024, 2, 64, 0)
+
+
+class TestAddressHelpers:
+    def test_line_address_masks_offset(self):
+        cache = small_cache()
+        assert cache.line_address(0x1234) == 0x1200
+
+    def test_set_index_wraps(self):
+        cache = small_cache(assoc=2, sets=4)
+        assert cache.set_index(0) == cache.set_index(4 * 64)
+
+
+class TestHitMissFill:
+    def test_cold_miss(self):
+        cache = small_cache()
+        assert not cache.touch(0x1000)
+        assert cache.misses == 1
+
+    def test_fill_then_hit(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        assert cache.touch(0x1000)
+        assert cache.hits == 1
+
+    def test_fill_is_line_granular(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        assert cache.touch(0x1030)  # same 64B line
+
+    def test_contains_does_not_count(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        cache.contains(0x1000)
+        assert cache.accesses == 0
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.touch(0x1000)
+        cache.fill(0x1000)
+        cache.touch(0x1000)
+        assert cache.miss_rate() == pytest.approx(0.5)
+
+    def test_empty_miss_rate(self):
+        assert small_cache().miss_rate() == 0.0
+
+
+class TestLru:
+    def test_eviction_order_is_lru(self):
+        cache = small_cache(assoc=2, sets=1, line=64)
+        cache.fill(0 * 64)
+        cache.fill(1 * 64)
+        cache.touch(0 * 64)          # 0 becomes MRU
+        victim = cache.fill(2 * 64)  # evicts 1
+        assert victim == 1 * 64
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_refill_refreshes_lru(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0)
+        cache.fill(64)
+        cache.fill(0)                # refresh, no eviction
+        victim = cache.fill(128)
+        assert victim == 64
+
+    def test_probe_set_lru_order(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0)
+        cache.fill(64)
+        assert cache.probe_set(0) == (0, 64)
+        cache.touch(0)
+        assert cache.probe_set(0) == (64, 0)
+
+
+class TestFlush:
+    def test_flush_line(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        assert cache.flush_line(0x1000)
+        assert not cache.contains(0x1000)
+
+    def test_flush_absent_line(self):
+        assert not small_cache().flush_line(0x1000)
+
+    def test_flush_all(self):
+        cache = small_cache()
+        cache.fill(0)
+        cache.fill(4096)
+        cache.flush_all()
+        assert cache.occupancy() == 0
+
+
+class TestOccupancy:
+    def test_occupancy_counts_lines(self):
+        cache = small_cache()
+        cache.fill(0)
+        cache.fill(64)
+        cache.fill(64)  # duplicate
+        assert cache.occupancy() == 2
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = small_cache(assoc=2, sets=2)
+        for i in range(100):
+            cache.fill(i * 64)
+        assert cache.occupancy() <= 4

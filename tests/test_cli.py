@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_attack_command(self):
+        args = build_parser().parse_args(
+            ["attack", "spectre_v1", "--policy", "wfc", "--secret", "7"])
+        assert args.name == "spectre_v1"
+        assert args.secret == 7
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "rowhammer"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["attack", "spectre_v1", "--policy", "strict"])
+
+
+class TestCommands:
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Secure" in out and "WFC" in out
+
+    def test_asm_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("li r1, #5\nhalt"))
+        assert main(["asm", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "li r1, #5" in out
+
+    def test_asm_file(self, capsys, tmp_path):
+        source = tmp_path / "prog.s"
+        source.write_text("nop\nhalt\n")
+        assert main(["asm", str(source)]) == 0
+        assert "halt" in capsys.readouterr().out
+
+    def test_asm_error_reported(self, capsys, tmp_path):
+        source = tmp_path / "bad.s"
+        source.write_text("frobnicate r1\n")
+        assert main(["asm", str(source)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_workload(self, capsys):
+        assert main(["workload", "namd", "--instructions", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "namd" in out and "IPC" in out
+
+    def test_attack_single(self, capsys):
+        assert main(["attack", "spectre_v1", "--policy", "wfc"]) == 0
+        out = capsys.readouterr().out
+        assert "spectre_v1" in out and "closed" in out
+
+    def test_figures_small(self, capsys):
+        assert main(["figures", "--benchmarks", "namd",
+                     "--instructions", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "Figure 16" in out

@@ -1,0 +1,125 @@
+"""Tests for the shadow-occupancy anomaly detector (paper §VII)."""
+
+import pytest
+
+from repro import CommitPolicy, Machine, ProgramBuilder
+from repro.core.detector import (DEFAULT_THRESHOLDS, ShadowAnomalyDetector)
+from repro.errors import ConfigError
+from repro.workloads import run_workload
+
+
+class TestConfiguration:
+    def test_default_thresholds_cover_all_structures(self):
+        assert set(DEFAULT_THRESHOLDS) == {
+            "shadow_dcache", "shadow_icache", "shadow_itlb", "shadow_dtlb"}
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(ConfigError):
+            ShadowAnomalyDetector({"shadow_l4": 10})
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            ShadowAnomalyDetector({"shadow_dcache": 0})
+
+    def test_double_attach_rejected(self):
+        machine = Machine(policy=CommitPolicy.WFC)
+        detector = ShadowAnomalyDetector().attach(machine.engine)
+        with pytest.raises(ConfigError):
+            detector.attach(machine.engine)
+        detector.detach()
+
+    def test_detach_without_attach_rejected(self):
+        with pytest.raises(ConfigError):
+            ShadowAnomalyDetector().detach()
+
+
+class TestDetection:
+    def test_benign_program_raises_no_alarm(self):
+        machine = Machine(policy=CommitPolicy.WFC)
+        machine.map_user_range(0x20000, 4096)
+        detector = ShadowAnomalyDetector().attach(machine.engine)
+        b = ProgramBuilder()
+        b.li("r1", 0x20000)
+        for offset in range(0, 256, 64):
+            b.load("r2", "r1", offset)
+        b.halt()
+        machine.run(b.build())
+        report = detector.detach()
+        assert not report.attack_suspected
+        assert report.peak_occupancy["shadow_dcache"] >= 1
+
+    def test_burst_past_threshold_alarms(self):
+        machine = Machine(policy=CommitPolicy.WFC)
+        machine.map_user_range(0x100000, 1 << 20)
+        detector = ShadowAnomalyDetector(
+            {"shadow_dcache": 4}).attach(machine.engine)
+        b = ProgramBuilder()
+        b.li("r1", 0x100000)
+        # 16 independent cold loads to distinct lines: in flight together
+        for i in range(16):
+            b.load("r2", "r1", i * 4096)
+        b.halt()
+        machine.run(b.build())
+        report = detector.detach()
+        assert report.attack_suspected
+        assert any(e.structure == "shadow_dcache" for e in report.events)
+        assert "shadow_dcache" in str(report.events[0])
+
+    def test_detach_restores_engine(self):
+        machine = Machine(policy=CommitPolicy.WFC)
+        detector = ShadowAnomalyDetector().attach(machine.engine)
+        assert "set_cycle" in vars(machine.engine)   # shadowed
+        detector.detach()
+        assert "set_cycle" not in vars(machine.engine)  # restored
+
+    def test_debounce_one_event_per_excursion(self):
+        machine = Machine(policy=CommitPolicy.WFC)
+        machine.map_user_range(0x100000, 1 << 20)
+        detector = ShadowAnomalyDetector(
+            {"shadow_dcache": 2}).attach(machine.engine)
+        b = ProgramBuilder()
+        b.li("r1", 0x100000)
+        for i in range(12):
+            b.load("r2", "r1", i * 4096)
+        b.halt()
+        machine.run(b.build())
+        report = detector.detach()
+        dcache_events = [e for e in report.events
+                         if e.structure == "shadow_dcache"]
+        # a single long excursion -> a small number of de-bounced events
+        assert 1 <= len(dcache_events) <= 3
+
+
+class TestDetectsTsaTrojan:
+    def test_tsa_trojan_trips_the_detector(self):
+        """The TSA Trojan must fill a shadow structure to capacity inside
+        one window — the exact anomaly the paper suggests detecting."""
+        from repro.attacks.tsa import _run_tsa
+        from repro.core.safespec import SafeSpecConfig, SizingMode
+        from repro.core.shadow import FullPolicy
+        import repro.attacks.tsa as tsa_module
+
+        events = []
+        original_machine_cls = tsa_module.Machine
+
+        class MonitoredMachine(original_machine_cls):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                if self.engine is not None:
+                    detector = ShadowAnomalyDetector({"shadow_dtlb": 3})
+                    detector.attach(self.engine)
+                    self._detector = detector
+                    events.append(detector.report.events)
+
+        tsa_module.Machine = MonitoredMachine
+        try:
+            config = SafeSpecConfig(
+                policy=CommitPolicy.WFC, sizing=SizingMode.CUSTOM,
+                full_policy=FullPolicy.DROP,
+                dcache_entries=256, icache_entries=256,
+                itlb_entries=64, dtlb_entries=4)
+            _run_tsa(CommitPolicy.WFC, 1, config)
+        finally:
+            tsa_module.Machine = original_machine_cls
+        assert any(event_list for event_list in events), \
+            "the trojan's shadow-dTLB burst should trip the detector"

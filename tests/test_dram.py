@@ -1,0 +1,48 @@
+"""Unit tests for the main-memory model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.dram import MainMemory
+
+
+class TestMainMemory:
+    def test_unwritten_reads_zero(self):
+        assert MainMemory().read_word(0x1000) == 0
+        assert MainMemory().read_byte(0x1000) == 0
+
+    def test_word_roundtrip(self):
+        mem = MainMemory()
+        mem.write_word(0x100, 0xDEADBEEF)
+        assert mem.read_word(0x100) == 0xDEADBEEF
+
+    def test_word_is_little_endian(self):
+        mem = MainMemory()
+        mem.write_word(0, 0x0102030405060708)
+        assert mem.read_byte(0) == 0x08
+        assert mem.read_byte(7) == 0x01
+
+    def test_word_wraps_at_64_bits(self):
+        mem = MainMemory()
+        mem.write_word(0, 1 << 64)
+        assert mem.read_word(0) == 0
+
+    def test_byte_masking(self):
+        mem = MainMemory()
+        mem.write_byte(0, 0x1FF)
+        assert mem.read_byte(0) == 0xFF
+
+    def test_overlapping_words(self):
+        mem = MainMemory()
+        mem.write_word(0, 0xFFFFFFFFFFFFFFFF)
+        mem.write_word(4, 0)
+        assert mem.read_word(0) == 0x00000000FFFFFFFF
+
+    def test_footprint(self):
+        mem = MainMemory()
+        mem.write_word(0, 1)
+        assert mem.footprint() == 8
+
+    def test_latency_validated(self):
+        with pytest.raises(ConfigError):
+            MainMemory(latency=0)

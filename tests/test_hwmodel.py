@@ -1,0 +1,99 @@
+"""Tests for the CACTI-like hardware model and Table V."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hwmodel import (CamModel, SramModel, TECH_40NM,
+                           l1_reference_estimate, shadow_overhead_report,
+                           table5)
+from repro.hwmodel.overhead import (SECURE_SIZING, WFC_SIZING,
+                                    render_table5, shadow_estimate)
+
+
+class TestSramModel:
+    def test_area_scales_with_capacity(self):
+        sram = SramModel()
+        small = sram.estimate("s", entries=64, entry_bits=512)
+        large = sram.estimate("l", entries=512, entry_bits=512)
+        assert large.area_mm2 == pytest.approx(8 * small.area_mm2)
+
+    def test_dynamic_power_scales_with_associativity(self):
+        sram = SramModel()
+        direct = sram.estimate("d", entries=64, entry_bits=512,
+                               associativity=1)
+        assoc = sram.estimate("a", entries=64, entry_bits=512,
+                              associativity=8)
+        assert assoc.dynamic_power_mw == \
+            pytest.approx(8 * direct.dynamic_power_mw)
+
+    def test_access_time_grows_with_area(self):
+        sram = SramModel()
+        small = sram.estimate("s", entries=64, entry_bits=512)
+        large = sram.estimate("l", entries=4096, entry_bits=512)
+        assert large.access_time_ns > small.access_time_ns
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            SramModel().estimate("x", entries=0, entry_bits=512)
+
+
+class TestCamModel:
+    def test_cam_costs_more_than_sram_per_bit(self):
+        cam = CamModel().estimate("c", entries=64, tag_bits=40,
+                                  data_bits=0)
+        sram = SramModel().estimate("s", entries=64, entry_bits=40)
+        assert cam.area_mm2 > sram.area_mm2
+
+    def test_wiring_factor_superlinear(self):
+        cam = CamModel()
+        assert cam.wiring_factor(256) > cam.wiring_factor(32)
+
+    def test_estimate_addition(self):
+        cam = CamModel()
+        a = cam.estimate("a", entries=16, tag_bits=40, data_bits=512)
+        b = cam.estimate("b", entries=16, tag_bits=40, data_bits=512)
+        total = a + b
+        assert total.area_mm2 == pytest.approx(2 * a.area_mm2)
+        assert total.total_power_mw == pytest.approx(2 * a.total_power_mw)
+
+
+class TestTable5:
+    def test_secure_sizing_matches_worst_case_bounds(self):
+        assert SECURE_SIZING.dcache == 72 + 56   # LDQ + STQ
+        assert SECURE_SIZING.icache == 224       # ROB
+
+    def test_wfc_sizing_much_smaller(self):
+        assert WFC_SIZING.dcache < SECURE_SIZING.dcache / 2
+        assert WFC_SIZING.icache < SECURE_SIZING.icache / 2
+
+    def test_table5_shape(self):
+        """The reproduced Table V must preserve the paper's shape: the
+        Secure configuration costs several times the WFC configuration,
+        and WFC overhead is a small percentage of the cache reference."""
+        rows = table5()
+        secure, wfc = rows["Secure"], rows["WFC"]
+        assert secure.estimate.area_mm2 > 4 * wfc.estimate.area_mm2
+        assert secure.estimate.total_power_mw > \
+            4 * wfc.estimate.total_power_mw
+        assert wfc.area_percent_of_l1 < 5.0
+        assert wfc.power_percent_of_l1 < 10.0
+        assert secure.area_percent_of_l1 < 60.0
+
+    def test_reference_is_plausible(self):
+        ref = l1_reference_estimate()
+        assert 0.1 < ref.area_mm2 < 5.0
+        assert 50 < ref.total_power_mw < 2000
+
+    def test_shadow_estimate_aggregates_four_structures(self):
+        estimate = shadow_estimate(WFC_SIZING, "WFC")
+        single = CamModel().estimate(
+            "d", entries=WFC_SIZING.dcache, tag_bits=40, data_bits=512)
+        assert estimate.area_mm2 > single.area_mm2
+
+    def test_render(self):
+        text = render_table5()
+        assert "Secure" in text and "WFC" in text
+
+    def test_overhead_report_row(self):
+        report = shadow_overhead_report(WFC_SIZING, "WFC")
+        assert "WFC" in report.row()

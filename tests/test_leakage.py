@@ -1,0 +1,145 @@
+"""Leakage unit tests: the micro-architectural invariants SafeSpec enforces.
+
+These test the *mechanism* directly (squashed state never reaches
+committed structures), complementing the end-to-end attack tests in
+``test_attacks.py``.
+"""
+
+import pytest
+
+from repro import CommitPolicy, Machine, ProgramBuilder
+
+DATA = 0x20000
+FLAG = 0x21000
+PROBE = 0x30000
+
+
+def wrong_path_load_machine(policy):
+    """Run a program whose *squashed* wrong path loads PROBE.
+
+    The guard branch is trained not-taken (falling into the PROBE load)
+    with flag == 0; the final run flips the flag and flushes it, so the
+    stale not-taken prediction speculatively executes the PROBE load in
+    the long window before the branch resolves taken and squashes it.
+    """
+    machine = Machine(policy=policy)
+    machine.map_user_range(DATA, 4096)
+    machine.map_user_range(FLAG, 4096)
+    machine.map_user_range(PROBE, 4096)
+    machine.write_word(FLAG, 0)
+
+    b = ProgramBuilder()
+    b.li("r1", FLAG)
+    b.load("r2", "r1", 0)                 # delayed when flushed
+    b.branch("ne", "r2", "r0", "skip")    # trained not-taken
+    b.li("r3", PROBE)
+    b.load("r4", "r3", 0)                 # the leaky wrong-path load
+    b.label("skip")
+    b.halt()
+    program = b.build()
+
+    for _ in range(5):                    # train: flag == 0, not taken
+        machine.run(program)
+    machine.write_word(FLAG, 1)           # flip: PROBE path is now wrong
+    machine.flush_address(FLAG)           # delay resolution
+    machine.flush_address(PROBE)
+    machine.hierarchy.dtlb.invalidate(PROBE >> 12)
+    machine.run(program)
+    return machine
+
+
+class TestWrongPathCacheState:
+    def test_baseline_leaks_squashed_load_into_caches(self):
+        machine = wrong_path_load_machine(CommitPolicy.BASELINE)
+        assert machine.hierarchy.committed_hit_level("d", PROBE) is not None
+
+    @pytest.mark.parametrize("policy",
+                             [CommitPolicy.WFB, CommitPolicy.WFC])
+    def test_safespec_annuls_squashed_load(self, policy):
+        machine = wrong_path_load_machine(policy)
+        assert machine.hierarchy.committed_hit_level("d", PROBE) is None
+
+    @pytest.mark.parametrize("policy",
+                             [CommitPolicy.WFB, CommitPolicy.WFC])
+    def test_safespec_annuls_squashed_dtlb_entry(self, policy):
+        machine = wrong_path_load_machine(policy)
+        assert not machine.hierarchy.dtlb.contains(PROBE >> 12)
+
+    def test_baseline_leaks_squashed_dtlb_entry(self):
+        machine = wrong_path_load_machine(CommitPolicy.BASELINE)
+        assert machine.hierarchy.dtlb.contains(PROBE >> 12)
+
+    @pytest.mark.parametrize("policy",
+                             [CommitPolicy.WFB, CommitPolicy.WFC])
+    def test_probe_latency_shows_no_signal(self, policy):
+        machine = wrong_path_load_machine(policy)
+        assert machine.probe_latency(PROBE) > 100
+
+
+class TestCommittedStateStillWorks:
+    """SafeSpec must not break the caches for committed execution."""
+
+    @pytest.mark.parametrize("policy",
+                             [CommitPolicy.WFB, CommitPolicy.WFC])
+    def test_committed_load_installs_line(self, policy):
+        machine = Machine(policy=policy)
+        machine.map_user_range(DATA, 4096)
+        b = ProgramBuilder()
+        b.li("r1", DATA)
+        b.load("r2", "r1", 0)
+        b.halt()
+        machine.run(b.build())
+        assert machine.hierarchy.l1d.contains(DATA)
+        assert machine.hierarchy.dtlb.contains(DATA >> 12)
+
+    @pytest.mark.parametrize("policy",
+                             [CommitPolicy.WFB, CommitPolicy.WFC])
+    def test_second_run_is_faster(self, policy):
+        machine = Machine(policy=policy)
+        machine.map_user_range(DATA, 4096)
+        b = ProgramBuilder()
+        b.li("r1", DATA)
+        b.load("r2", "r1", 0)
+        b.halt()
+        cold = machine.run(b.build()).cycles
+        warm = machine.run(b.build()).cycles
+        assert warm < cold
+
+    @pytest.mark.parametrize("policy",
+                             [CommitPolicy.WFB, CommitPolicy.WFC])
+    def test_shadow_drains_after_run(self, policy):
+        machine = Machine(policy=policy)
+        machine.map_user_range(DATA, 4096)
+        b = ProgramBuilder()
+        b.li("r1", DATA)
+        for offset in range(0, 512, 64):
+            b.load("r2", "r1", offset)
+        b.halt()
+        machine.run(b.build())
+        for structure in machine.engine.all_structures():
+            assert structure.occupancy() == 0
+
+
+class TestFaultAnnulment:
+    def test_wfc_annuls_faulting_loads_state(self):
+        machine = Machine(policy=CommitPolicy.WFC)
+        machine.map_kernel_range(0x80000, 4096)
+        b = ProgramBuilder()
+        b.li("r1", 0x80000)
+        b.load("r2", "r1", 0)
+        b.halt()
+        result = machine.run(b.build())
+        assert result.fault_events
+        assert machine.hierarchy.committed_hit_level("d", 0x80000) is None
+        assert not machine.hierarchy.dtlb.contains(0x80000 >> 12)
+
+    def test_baseline_keeps_faulting_loads_state(self):
+        machine = Machine(policy=CommitPolicy.BASELINE)
+        machine.map_kernel_range(0x80000, 4096)
+        b = ProgramBuilder()
+        b.li("r1", 0x80000)
+        b.load("r2", "r1", 0)
+        b.halt()
+        machine.run(b.build())
+        assert machine.hierarchy.committed_hit_level("d", 0x80000) \
+            is not None

@@ -1,0 +1,117 @@
+"""Tests for the Machine facade."""
+
+import pytest
+
+from repro import (CommitPolicy, FullPolicy, Machine, ProgramBuilder,
+                   SafeSpecConfig, SizingMode)
+
+
+class TestConstruction:
+    def test_baseline_has_no_engine(self):
+        assert Machine(policy=CommitPolicy.BASELINE).engine is None
+
+    @pytest.mark.parametrize("policy",
+                             [CommitPolicy.WFB, CommitPolicy.WFC])
+    def test_safespec_policies_have_engine(self, policy):
+        machine = Machine(policy=policy)
+        assert machine.engine is not None
+        assert machine.engine.config.policy is policy
+
+    def test_explicit_config_overrides_policy(self):
+        config = SafeSpecConfig(policy=CommitPolicy.WFB,
+                                sizing=SizingMode.CUSTOM,
+                                full_policy=FullPolicy.BLOCK,
+                                dcache_entries=4, icache_entries=4,
+                                itlb_entries=4, dtlb_entries=4)
+        machine = Machine(policy=CommitPolicy.BASELINE,
+                          safespec_config=config)
+        assert machine.policy is CommitPolicy.WFB
+        assert machine.engine.shadow_dcache.capacity == 4
+
+
+class TestMemoryHelpers:
+    def test_write_read_word(self):
+        machine = Machine()
+        machine.map_user_range(0x10000, 4096)
+        machine.write_word(0x10008, 321)
+        assert machine.read_word(0x10008) == 321
+
+    def test_unmapped_write_raises(self):
+        with pytest.raises(KeyError):
+            Machine().write_word(0x10000, 1)
+
+    def test_unmapped_read_raises(self):
+        with pytest.raises(KeyError):
+            Machine().read_word(0x10000)
+
+    def test_unmapped_flush_raises(self):
+        with pytest.raises(KeyError):
+            Machine().flush_address(0x10000)
+
+    def test_kernel_range_blocks_user_runs(self):
+        machine = Machine()
+        machine.map_kernel_range(0x80000, 4096)
+        b = ProgramBuilder()
+        b.li("r1", 0x80000)
+        b.load("r2", "r1", 0)
+        b.halt()
+        result = machine.run(b.build())
+        assert result.fault_events
+
+
+class TestRun:
+    def test_code_auto_mapped(self):
+        machine = Machine()
+        b = ProgramBuilder()
+        b.li("r1", 5)
+        b.halt()
+        result = machine.run(b.build())
+        assert result.reg("r1") == 5
+
+    def test_state_persists_across_runs(self):
+        machine = Machine()
+        machine.map_user_range(0x10000, 4096)
+        b = ProgramBuilder()
+        b.li("r1", 0x10000)
+        b.load("r2", "r1", 0)
+        b.halt()
+        program = b.build()
+        cold = machine.run(program).cycles
+        warm = machine.run(program).cycles
+        assert warm < cold
+
+    def test_probe_latency_reflects_cache_state(self):
+        machine = Machine()
+        machine.map_user_range(0x10000, 4096)
+        cold = machine.probe_latency(0x10000)
+        b = ProgramBuilder()
+        b.li("r1", 0x10000)
+        b.load("r2", "r1", 0)
+        b.halt()
+        machine.run(b.build())
+        assert machine.probe_latency(0x10000) < cold
+
+    def test_flush_address_restores_miss_latency(self):
+        machine = Machine()
+        machine.map_user_range(0x10000, 4096)
+        b = ProgramBuilder()
+        b.li("r1", 0x10000)
+        b.load("r2", "r1", 0)
+        b.halt()
+        machine.run(b.build())
+        machine.flush_address(0x10000)
+        assert machine.probe_latency(0x10000) > 100
+
+    def test_probe_fetch_latency(self):
+        machine = Machine()
+        b = ProgramBuilder()
+        b.halt()
+        machine.run(b.build())
+        assert machine.probe_fetch_latency(0x1000) < 100
+
+    def test_probe_translation_latency_sides(self):
+        machine = Machine()
+        machine.map_user_range(0x10000, 4096)
+        d = machine.probe_translation_latency(0x10000, side="d")
+        i = machine.probe_translation_latency(0x10000, side="i")
+        assert d > 0 and i > 0

@@ -1,0 +1,88 @@
+"""Tests for the prime+probe receiver and the Spectre v1 P+P variant."""
+
+import pytest
+
+from repro import CommitPolicy, Machine, ProgramBuilder
+from repro.attacks.channels import PrimeProbeChannel
+from repro.attacks.spectre_pp import run_spectre_v1_prime_probe
+
+BASELINE = CommitPolicy.BASELINE
+WFB = CommitPolicy.WFB
+WFC = CommitPolicy.WFC
+
+
+class TestPrimeProbeChannel:
+    def test_geometry_matches_l1(self):
+        machine = Machine()
+        channel = PrimeProbeChannel(machine)
+        assert channel.num_sets == 64
+        assert channel.ways == 8
+
+    def test_prime_lines_map_to_their_set(self):
+        machine = Machine()
+        channel = PrimeProbeChannel(machine)
+        for set_index in (0, 17, 63):
+            for way in range(channel.ways):
+                addr = channel.line_address(set_index, way)
+                assert machine.hierarchy.l1d.set_index(addr) == set_index
+
+    def test_prime_fills_every_set(self):
+        machine = Machine()
+        channel = PrimeProbeChannel(machine)
+        channel.prime()
+        l1d = machine.hierarchy.l1d
+        assert l1d.occupancy() == l1d.config.num_lines
+
+    def test_probe_detects_targeted_eviction(self):
+        machine = Machine()
+        channel = PrimeProbeChannel(machine)
+        channel.prime()
+        channel.calibrate()     # quiescent: no noise sets
+        channel.prime()
+        # a committed victim access to set 23 evicts one prime line
+        victim_addr = 0x50_0000 + 23 * 64
+        machine.map_user_range(0x50_0000, 8192)
+        b = ProgramBuilder(code_base=0x76_000)
+        b.li("r1", victim_addr)
+        b.load("r2", "r1", 0)
+        b.halt()
+        machine.run(b.build())
+        outcome = channel.probe()
+        assert 23 in outcome.hot_slots
+
+    def test_calibration_removes_steady_noise(self):
+        machine = Machine()
+        channel = PrimeProbeChannel(machine)
+        machine.map_user_range(0x50_0000, 8192)
+        b = ProgramBuilder(code_base=0x76_000)
+        b.li("r1", 0x50_0000)
+        b.load("r2", "r1", 0)
+        b.halt()
+        victim = b.build()
+        channel.prime()
+        machine.run(victim)
+        noise = channel.calibrate()
+        channel.prime()
+        machine.run(victim)           # identical victim: no new signal
+        outcome = channel.probe()
+        assert channel.set_of(0x50_0000) in noise
+        assert outcome.hot_slots == []
+
+
+class TestSpectreV1PrimeProbe:
+    def test_baseline_leaks(self):
+        result = run_spectre_v1_prime_probe(BASELINE, secret=42)
+        assert result.success
+        assert result.details["hot_sets"] == [result.details["expected_set"]]
+
+    def test_wfb_closes(self):
+        assert run_spectre_v1_prime_probe(WFB, secret=42).closed
+
+    def test_wfc_closes(self):
+        assert run_spectre_v1_prime_probe(WFC, secret=42).closed
+
+    def test_different_secret_different_set(self):
+        a = run_spectre_v1_prime_probe(BASELINE, secret=7)
+        b = run_spectre_v1_prime_probe(BASELINE, secret=9)
+        assert a.success and b.success
+        assert a.details["expected_set"] != b.details["expected_set"]

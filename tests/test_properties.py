@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shadow import FullPolicy, ShadowStructure
+from repro.isa.registers import to_signed, to_unsigned
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.dram import MainMemory
+from repro.memory.paging import PagePermissions, Translation
+from repro.memory.tlb import TLB, TLBConfig
+from repro.statistics import Histogram
+
+addresses = st.integers(min_value=0, max_value=1 << 30)
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestCacheProperties:
+    @given(st.lists(addresses, max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = Cache(CacheConfig("p", 4096, 4, 64, 1))
+        for addr in addrs:
+            cache.fill(addr)
+        assert cache.occupancy() <= cache.config.num_lines
+        for cache_set in cache._sets:
+            assert len(cache_set) <= cache.config.associativity
+
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    def test_last_filled_line_always_present(self, addrs):
+        cache = Cache(CacheConfig("p", 4096, 4, 64, 1))
+        for addr in addrs:
+            cache.fill(addr)
+        assert cache.contains(addrs[-1])
+
+    @given(st.lists(addresses, max_size=100), addresses)
+    def test_flushed_line_absent(self, addrs, victim):
+        cache = Cache(CacheConfig("p", 4096, 4, 64, 1))
+        for addr in addrs:
+            cache.fill(addr)
+        cache.flush_line(victim)
+        assert not cache.contains(victim)
+
+    @given(st.lists(addresses, max_size=100))
+    def test_contains_is_pure(self, addrs):
+        cache = Cache(CacheConfig("p", 4096, 4, 64, 1))
+        for addr in addrs:
+            cache.fill(addr)
+        before = [tuple(s) for s in cache._sets]
+        for addr in addrs:
+            cache.contains(addr)
+        assert [tuple(s) for s in cache._sets] == before
+
+
+class TestTlbProperties:
+    @given(st.lists(st.integers(0, 4096), max_size=200))
+    def test_occupancy_bounded(self, vpns):
+        tlb = TLB(TLBConfig("p", 16))
+        for vpn in vpns:
+            tlb.fill(Translation(vpn, vpn, PagePermissions()))
+        assert tlb.occupancy() <= 16
+
+    @given(st.lists(st.integers(0, 64), min_size=1, max_size=64))
+    def test_most_recent_fill_present(self, vpns):
+        tlb = TLB(TLBConfig("p", 8))
+        for vpn in vpns:
+            tlb.fill(Translation(vpn, vpn, PagePermissions()))
+        assert tlb.contains(vpns[-1])
+
+
+class TestShadowProperties:
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 20)),
+                    max_size=200))
+    def test_entry_accounting_balances(self, fills):
+        """fills == resident + committed + annulled, always."""
+        shadow = ShadowStructure("p", 8, FullPolicy.DROP)
+        entries = []
+        for i, (key, owner) in enumerate(fills):
+            entry = shadow.fill(key, owner, None, i)
+            if entry is not None:
+                entries.append(entry)
+            # retire roughly half of what is resident
+            if len(entries) > 4:
+                victim = entries.pop(0)
+                if victim.owner_seq % 2:
+                    shadow.release_committed(victim)
+                else:
+                    shadow.annul(victim)
+        accepted = shadow.stats.counter("fills").value
+        retired = shadow.commit_count + shadow.annul_count
+        assert accepted == shadow.occupancy() + retired
+        assert shadow.occupancy() <= shadow.capacity
+
+    @given(st.integers(1, 64),
+           st.lists(st.integers(0, 30), min_size=1, max_size=100))
+    def test_never_exceeds_capacity(self, capacity, keys):
+        shadow = ShadowStructure("p", capacity, FullPolicy.DROP)
+        for i, key in enumerate(keys):
+            shadow.fill(key, i, None, i)
+        assert shadow.occupancy() <= capacity
+
+
+class TestHistogramProperties:
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+    def test_percentile_monotone(self, values):
+        h = Histogram("p")
+        for v in values:
+            h.record(v)
+        fractions = [0.1, 0.5, 0.9, 0.99, 1.0]
+        results = [h.percentile(f) for f in fractions]
+        assert results == sorted(results)
+        assert results[-1] == max(values)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+    def test_percentile_within_observed_range(self, values):
+        h = Histogram("p")
+        for v in values:
+            h.record(v)
+        assert min(values) <= h.percentile(0.5) <= max(values)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=100),
+           st.lists(st.integers(0, 100), min_size=1, max_size=100))
+    def test_merge_preserves_total(self, first, second):
+        a, b = Histogram("a"), Histogram("b")
+        for v in first:
+            a.record(v)
+        for v in second:
+            b.record(v)
+        a.merge(b)
+        assert a.total == len(first) + len(second)
+
+
+class TestRegisterArithmeticProperties:
+    @given(st.integers())
+    def test_roundtrip_identity_on_64_bits(self, value):
+        assert to_unsigned(to_signed(to_unsigned(value))) == \
+            to_unsigned(value)
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_signed_values_preserved(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    @given(words, words)
+    def test_addition_wraps_like_hardware(self, a, b):
+        assert to_unsigned(a + b) == (a + b) % (1 << 64)
+
+
+class TestMemoryProperties:
+    @given(st.dictionaries(
+        st.integers(0, 1 << 20).map(lambda a: a * 8), words, max_size=50))
+    def test_word_store_load_roundtrip(self, writes):
+        mem = MainMemory()
+        for addr, value in writes.items():
+            mem.write_word(addr, value)
+        for addr, value in writes.items():
+            assert mem.read_word(addr) == value
+
+    @given(st.integers(0, 1 << 20), words)
+    def test_word_equals_byte_composition(self, addr, value):
+        mem = MainMemory()
+        mem.write_word(addr, value)
+        composed = sum(mem.read_byte(addr + i) << (8 * i)
+                       for i in range(8))
+        assert composed == value

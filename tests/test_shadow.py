@@ -1,0 +1,118 @@
+"""Unit tests for the shadow structures."""
+
+import pytest
+
+from repro.core.shadow import FullPolicy, ShadowStructure
+from repro.errors import ConfigError
+
+
+def make(capacity=4, policy=FullPolicy.DROP):
+    return ShadowStructure("test", capacity, policy)
+
+
+class TestFill:
+    def test_fill_and_lookup(self):
+        shadow = make()
+        entry = shadow.fill(0x1000, owner_seq=1, payload=None, cycle=0)
+        assert entry is not None
+        assert shadow.lookup(0x1000) is entry
+
+    def test_lookup_miss(self):
+        assert make().lookup(0x1000) is None
+
+    def test_newest_entry_wins_on_duplicate_key(self):
+        shadow = make()
+        shadow.fill(0x1000, 1, None, 0)
+        second = shadow.fill(0x1000, 2, None, 1)
+        assert shadow.lookup(0x1000) is second
+
+    def test_occupancy_counts_entries_not_keys(self):
+        shadow = make()
+        shadow.fill(0x1000, 1, None, 0)
+        shadow.fill(0x1000, 2, None, 0)
+        assert shadow.occupancy() == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            make(capacity=0)
+
+
+class TestFullPolicies:
+    def test_drop_discards_when_full(self):
+        shadow = make(capacity=2, policy=FullPolicy.DROP)
+        assert shadow.fill(1, 1, None, 0)
+        assert shadow.fill(2, 2, None, 0)
+        assert shadow.fill(3, 3, None, 0) is None
+        assert shadow.stats.counter("drops").value == 1
+        assert shadow.occupancy() == 2
+
+    def test_block_counts_blocks(self):
+        shadow = make(capacity=1, policy=FullPolicy.BLOCK)
+        shadow.fill(1, 1, None, 0)
+        assert shadow.fill(2, 2, None, 0) is None
+        assert shadow.stats.counter("blocks").value == 1
+
+    def test_has_space(self):
+        shadow = make(capacity=1)
+        assert shadow.has_space()
+        shadow.fill(1, 1, None, 0)
+        assert not shadow.has_space()
+        assert shadow.full
+
+
+class TestCommitAnnul:
+    def test_release_committed_removes_entry(self):
+        shadow = make()
+        entry = shadow.fill(1, 1, None, 0)
+        shadow.release_committed(entry)
+        assert shadow.lookup(1) is None
+        assert shadow.commit_count == 1
+
+    def test_annul_removes_entry(self):
+        shadow = make()
+        entry = shadow.fill(1, 1, None, 0)
+        shadow.annul(entry)
+        assert shadow.lookup(1) is None
+        assert shadow.annul_count == 1
+
+    def test_double_remove_is_idempotent(self):
+        shadow = make()
+        entry = shadow.fill(1, 1, None, 0)
+        shadow.annul(entry)
+        shadow.annul(entry)
+        assert shadow.occupancy() == 0
+
+    def test_commit_rate(self):
+        shadow = make()
+        kept = shadow.fill(1, 1, None, 0)
+        dropped = shadow.fill(2, 2, None, 0)
+        shadow.release_committed(kept)
+        shadow.annul(dropped)
+        assert shadow.commit_rate() == pytest.approx(0.5)
+
+    def test_commit_rate_empty(self):
+        assert make().commit_rate() == 0.0
+
+    def test_remove_one_of_two_same_key(self):
+        shadow = make()
+        first = shadow.fill(1, 1, None, 0)
+        second = shadow.fill(1, 2, None, 0)
+        shadow.annul(second)
+        assert shadow.lookup(1) is first
+
+
+class TestOccupancySampling:
+    def test_sampling_records_histogram(self):
+        shadow = make()
+        shadow.sample_occupancy()
+        shadow.fill(1, 1, None, 0)
+        shadow.sample_occupancy()
+        hist = shadow.occupancy_histogram
+        assert hist.total == 2
+        assert hist.max == 1
+
+    def test_snapshot(self):
+        shadow = make()
+        shadow.fill(1, 10, None, 0)
+        shadow.fill(2, 20, None, 0)
+        assert sorted(shadow.entries_snapshot()) == [(1, 10), (2, 20)]

@@ -1,0 +1,141 @@
+"""Unit tests for the statistics primitives."""
+
+import pytest
+
+from repro.statistics import (Counter, Histogram, StatRegistry,
+                              geometric_mean, ratio)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_increment_default(self):
+        c = Counter("c")
+        c.increment()
+        assert c.value == 1
+
+    def test_increment_amount(self):
+        c = Counter("c")
+        c.increment(5)
+        c.increment(3)
+        assert c.value == 8
+
+    def test_reset(self):
+        c = Counter("c")
+        c.increment(7)
+        c.reset()
+        assert c.value == 0
+
+    def test_int_conversion(self):
+        c = Counter("c")
+        c.increment(4)
+        assert int(c) == 4
+
+
+class TestHistogram:
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h").percentile(0.5) == 0
+
+    def test_empty_stats(self):
+        h = Histogram("h")
+        assert h.total == 0
+        assert h.max == 0
+        assert h.mean == 0.0
+
+    def test_single_value(self):
+        h = Histogram("h")
+        h.record(7)
+        assert h.percentile(0.5) == 7
+        assert h.percentile(1.0) == 7
+        assert h.max == 7
+        assert h.mean == 7.0
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").record(-1)
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram("h")
+        h.record(1)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+
+    def test_median_of_uniform(self):
+        h = Histogram("h")
+        for value in range(100):
+            h.record(value)
+        assert 49 <= h.percentile(0.5) <= 50
+
+    def test_p9999_ignores_rare_tail_only_at_threshold(self):
+        h = Histogram("h")
+        h.record(1, count=99_990)
+        h.record(100, count=10)
+        # exactly at 0.9999 the low value still covers the mass
+        assert h.percentile(0.9999) == 1
+        assert h.percentile(1.0) == 100
+
+    def test_counted_record(self):
+        h = Histogram("h")
+        h.record(3, count=10)
+        assert h.total == 10
+        assert h.mean == 3.0
+
+    def test_merge(self):
+        a, b = Histogram("a"), Histogram("b")
+        a.record(1, 5)
+        b.record(9, 5)
+        a.merge(b)
+        assert a.total == 10
+        assert a.max == 9
+
+    def test_items_sorted(self):
+        h = Histogram("h")
+        h.record(5)
+        h.record(1)
+        h.record(3)
+        assert [v for v, _ in h.items()] == [1, 3, 5]
+
+
+class TestStatRegistry:
+    def test_counter_is_memoised(self):
+        reg = StatRegistry("r")
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_histogram_is_memoised(self):
+        reg = StatRegistry("r")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_as_dict(self):
+        reg = StatRegistry("r")
+        reg.counter("a").increment(2)
+        reg.counter("b").increment(3)
+        assert reg.as_dict() == {"a": 2, "b": 3}
+
+    def test_reset_clears_counters_and_histograms(self):
+        reg = StatRegistry("r")
+        reg.counter("a").increment(2)
+        reg.histogram("h").record(4)
+        reg.reset()
+        assert reg.as_dict() == {"a": 0}
+        assert reg.histogram("h").total == 0
+
+
+class TestHelpers:
+    def test_ratio_normal(self):
+        assert ratio(1, 4) == 0.25
+
+    def test_ratio_zero_denominator(self):
+        assert ratio(5, 0) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

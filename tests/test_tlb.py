@@ -1,0 +1,102 @@
+"""Unit tests for the TLB model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.paging import PagePermissions, Translation
+from repro.memory.tlb import TLB, TLBConfig
+
+
+def entry(vpn, ppn=None):
+    return Translation(vpn=vpn, ppn=ppn if ppn is not None else vpn,
+                       permissions=PagePermissions())
+
+
+def small_tlb(entries=4):
+    return TLB(TLBConfig("test", entries, 1))
+
+
+class TestConfig:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigError):
+            TLBConfig("t", 0)
+
+
+class TestLookup:
+    def test_cold_miss(self):
+        tlb = small_tlb()
+        assert tlb.lookup(3) is None
+        assert tlb.misses == 1
+
+    def test_fill_then_hit(self):
+        tlb = small_tlb()
+        tlb.fill(entry(3))
+        assert tlb.lookup(3).ppn == 3
+        assert tlb.hits == 1
+
+    def test_peek_does_not_count_or_reorder(self):
+        tlb = small_tlb(entries=2)
+        tlb.fill(entry(1))
+        tlb.fill(entry(2))
+        assert tlb.peek(1) is not None
+        assert tlb.hits == 0
+        # peek must not refresh LRU: 1 is still the eviction victim
+        tlb.fill(entry(3))
+        assert not tlb.contains(1)
+        assert tlb.contains(2)
+
+    def test_lookup_refreshes_lru(self):
+        tlb = small_tlb(entries=2)
+        tlb.fill(entry(1))
+        tlb.fill(entry(2))
+        tlb.lookup(1)
+        tlb.fill(entry(3))
+        assert tlb.contains(1)
+        assert not tlb.contains(2)
+
+
+class TestFill:
+    def test_eviction_returns_victim(self):
+        tlb = small_tlb(entries=2)
+        tlb.fill(entry(1))
+        tlb.fill(entry(2))
+        victim = tlb.fill(entry(3))
+        assert victim == 1
+
+    def test_refill_existing_no_eviction(self):
+        tlb = small_tlb(entries=2)
+        tlb.fill(entry(1))
+        tlb.fill(entry(2))
+        assert tlb.fill(entry(1)) is None
+        assert tlb.occupancy() == 2
+
+    def test_occupancy_bounded(self):
+        tlb = small_tlb(entries=4)
+        for vpn in range(20):
+            tlb.fill(entry(vpn))
+        assert tlb.occupancy() == 4
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        tlb = small_tlb()
+        tlb.fill(entry(5))
+        assert tlb.invalidate(5)
+        assert not tlb.contains(5)
+
+    def test_invalidate_absent(self):
+        assert not small_tlb().invalidate(5)
+
+    def test_flush_all(self):
+        tlb = small_tlb()
+        tlb.fill(entry(1))
+        tlb.fill(entry(2))
+        tlb.flush_all()
+        assert tlb.occupancy() == 0
+
+    def test_miss_rate(self):
+        tlb = small_tlb()
+        tlb.lookup(1)
+        tlb.fill(entry(1))
+        tlb.lookup(1)
+        assert tlb.miss_rate() == pytest.approx(0.5)

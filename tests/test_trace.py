@@ -1,0 +1,126 @@
+"""Tests for the pipeline tracer."""
+
+import pytest
+
+from repro import Machine, ProgramBuilder
+from repro.errors import ConfigError
+from repro.memory.paging import PrivilegeLevel
+from repro.pipeline.core import Core
+from repro.pipeline.trace import PipelineTracer
+
+
+def traced_run(build, tracer=None, **machine_kwargs):
+    machine = Machine(**machine_kwargs)
+    machine.map_user_range(0x20000, 4096)
+    b = ProgramBuilder()
+    build(b)
+    program = b.build()
+    machine.page_table.map_range(program.code_base, program.code_bytes)
+    core = Core(program, machine.hierarchy, config=machine.core_config,
+                predictor=machine.predictor, btb=machine.btb,
+                engine=machine.engine)
+    tracer = tracer or PipelineTracer()
+    tracer.attach(core)
+    result = core.run()
+    return tracer, result
+
+
+def simple_program(b):
+    b.li("r1", 0x20000)
+    b.load("r2", "r1", 0)
+    b.alu("add", "r3", "r2", imm=1)
+    b.halt()
+
+
+class TestLifecycle:
+    def test_every_committed_uop_has_full_lifecycle(self):
+        tracer, result = traced_run(simple_program)
+        commits = tracer.filter(kind="commit")
+        assert len(commits) == result.instructions
+        first = commits[0].seq
+        kinds = [e.kind for e in tracer.lifetime(first)]
+        assert kinds == ["fetch", "dispatch", "issue", "commit"]
+
+    def test_cycle_order_monotone_per_uop(self):
+        tracer, _ = traced_run(simple_program)
+        for seq in {e.seq for e in tracer.events}:
+            cycles = [e.cycle for e in tracer.lifetime(seq)]
+            assert cycles == sorted(cycles)
+
+    def test_fault_event_recorded(self):
+        def build(b):
+            b.li("r1", 0xDEAD0000)
+            b.load("r2", "r1", 0)
+            b.halt()
+        tracer, _ = traced_run(build)
+        faults = tracer.filter(kind="fault")
+        assert len(faults) == 1
+        assert "unmapped" in faults[0].text
+
+    def test_squash_events_on_mispredict(self):
+        def build(b):
+            b.li("r1", 0x20000)
+            b.load("r2", "r1", 0)            # cold miss delays the branch
+            b.branch("eq", "r2", "r0", "out")  # 0 == 0: taken; predicted NT
+            b.li("r3", 1)
+            b.label("out")
+            b.halt()
+        tracer, _ = traced_run(build)
+        assert tracer.filter(kind="squash")
+
+
+class TestFiltering:
+    def test_kind_whitelist(self):
+        tracer, _ = traced_run(simple_program,
+                               tracer=PipelineTracer(kinds=["commit"]))
+        assert {e.kind for e in tracer.events} == {"commit"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            PipelineTracer(kinds=["retire"])
+
+    def test_max_events_cap(self):
+        tracer, _ = traced_run(simple_program,
+                               tracer=PipelineTracer(max_events=2))
+        assert len(tracer.events) == 2
+
+
+class TestAttachDetach:
+    def test_double_attach_rejected(self):
+        tracer, _ = traced_run(simple_program)
+        machine = Machine()
+        b = ProgramBuilder()
+        b.halt()
+        program = b.build()
+        machine.page_table.map_range(program.code_base, program.code_bytes)
+        core = Core(program, machine.hierarchy)
+        with pytest.raises(ConfigError):
+            tracer.attach(core)
+
+    def test_detach_restores_methods(self):
+        machine = Machine()
+        b = ProgramBuilder()
+        b.halt()
+        program = b.build()
+        machine.page_table.map_range(program.code_base, program.code_bytes)
+        core = Core(program, machine.hierarchy)
+        tracer = PipelineTracer().attach(core)
+        assert "_commit_uop" in vars(core)
+        tracer.detach()
+        assert "_commit_uop" not in vars(core)
+
+    def test_detach_without_attach_rejected(self):
+        with pytest.raises(ConfigError):
+            PipelineTracer().detach()
+
+
+class TestRendering:
+    def test_timeline_renders(self):
+        tracer, _ = traced_run(simple_program)
+        text = tracer.render_timeline(limit=5)
+        assert "cycle" in text and "commit" in text or "fetch" in text
+
+    def test_timeline_truncation_note(self):
+        tracer, _ = traced_run(simple_program)
+        text = tracer.render_timeline(limit=1)
+        assert "more events" in text
