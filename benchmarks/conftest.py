@@ -3,13 +3,25 @@
 One :class:`~repro.analysis.experiment.ExperimentRunner` is shared by
 every bench so each (workload, policy) simulation runs exactly once per
 session; the per-bench timing then measures series derivation over the
-cached runs, while the first bench to need a policy pays for its
+memoized runs, while the first bench to need a policy pays for its
 simulations.
+
+The runner submits its simulations through :mod:`repro.exec`, so the
+sweep itself is tunable without editing the benches:
+
+* ``REPRO_BENCH_JOBS=N`` fans the simulations out over N worker
+  processes.
+* ``REPRO_BENCH_CACHE_DIR=DIR`` backs the sweep with the persistent
+  result cache, letting repeated benchmark sessions skip completed
+  simulations (leave it unset to always measure fresh runs).
 """
+
+import os
 
 import pytest
 
 from repro.analysis.experiment import ExperimentRunner
+from repro.exec.cache import ResultCache
 
 # Per-run instruction budget.  Large enough for stable rates/percentiles,
 # small enough that the full 22-benchmark x 3-policy sweep stays in the
@@ -19,4 +31,14 @@ BENCH_INSTRUCTIONS = 8_000
 
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner(instructions=BENCH_INSTRUCTIONS)
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    runner = ExperimentRunner(instructions=BENCH_INSTRUCTIONS,
+                              jobs=jobs, cache=cache)
+    if jobs > 1:
+        # Figure methods batch per policy; prefetching the whole
+        # three-policy sweep here gives the pool the widest batch and
+        # charges it to fixture setup rather than the first bench.
+        runner.run_all()
+    return runner

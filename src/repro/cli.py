@@ -2,33 +2,47 @@
 
 Commands:
 
-* ``attack <name|all> [--policy ...] [--secret N]`` — run attack PoCs.
+* ``attack <name|all> [--policy ...] [--secret N]`` — run attack PoCs;
+  the exit code counts protected-policy runs that still leaked.
 * ``matrix`` — Tables III/IV: every attack under every policy.
 * ``workload <name|suite> [--policy ...] [--instructions N]`` — run the
   synthetic suite and print the per-run metrics.
 * ``figures [--benchmarks a,b,...] [--instructions N]`` — regenerate the
-  performance figures (6-9, 11-16) as text tables.
+  performance figures (6-9, 11-16) as text tables or machine-readable
+  JSON (``--format json``).
 * ``table5`` — the hardware-overhead table.
 * ``asm <file>`` — assemble a text program and print its disassembly.
+
+``matrix``, ``workload`` and ``figures`` submit their simulations
+through :mod:`repro.exec`: ``--jobs N`` fans them out over N worker
+processes, and completed runs are reused from the persistent result
+cache (``--cache-dir``, disable with ``--no-cache``) across invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.analysis.experiment import ExperimentRunner
+from repro.analysis.experiment import FIGURE_POLICIES, ExperimentRunner
 from repro.analysis.report import (render_figure_series, render_ipc_figure,
                                    render_sizing_figure, render_two_series)
 from repro.attacks import ALL_ATTACKS, run_attack_by_name, security_matrix
-from repro.attacks.runner import render_matrix
+from repro.attacks.runner import expected_closed, render_matrix
 from repro.core.policy import CommitPolicy
 from repro.errors import ReproError
+from repro.exec.cache import NullCache, ResultCache
+from repro.exec.executor import make_executor, stderr_progress
+from repro.exec.job import SCHEMA_VERSION, workload_job
 from repro.hwmodel.overhead import render_table5
-from repro.workloads import run_workload, suite_names
+from repro.workloads import suite_names
 
 _POLICIES = {p.value: p for p in CommitPolicy}
+
+_SIZING_FIGURES = [("6", "shadow_icache"), ("7", "shadow_dcache"),
+                   ("8", "shadow_itlb"), ("9", "shadow_dtlb")]
 
 
 def _parse_policy(value: str) -> CommitPolicy:
@@ -36,6 +50,19 @@ def _parse_policy(value: str) -> CommitPolicy:
         raise argparse.ArgumentTypeError(
             f"unknown policy {value!r}; choose from {sorted(_POLICIES)}")
     return _POLICIES[value]
+
+
+def _add_exec_options(parser: argparse.ArgumentParser) -> None:
+    """Executor/cache flags shared by the simulation-batch commands."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the simulation batch "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the on-disk "
+                             "result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache location (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,9 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "default: all three)")
     attack.add_argument("--secret", type=int, default=42)
 
-    sub.add_parser("matrix",
-                   help="run every attack under every policy "
-                        "(Tables III & IV)")
+    matrix = sub.add_parser("matrix",
+                            help="run every attack under every policy "
+                                 "(Tables III & IV)")
+    matrix.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    _add_exec_options(matrix)
 
     workload = sub.add_parser("workload",
                               help="run a synthetic benchmark")
@@ -62,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--policy", type=_parse_policy,
                           default=CommitPolicy.BASELINE)
     workload.add_argument("--instructions", type=int, default=10_000)
+    workload.add_argument("--format", choices=["text", "json"],
+                          default="text")
+    _add_exec_options(workload)
 
     figures = sub.add_parser("figures",
                              help="regenerate the performance figures")
@@ -69,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated subset (default: full "
                               "suite)")
     figures.add_argument("--instructions", type=int, default=8_000)
+    figures.add_argument("--format", choices=["text", "json"],
+                         default="text")
+    _add_exec_options(figures)
 
     sub.add_parser("table5", help="hardware overhead table (Table V)")
 
@@ -76,6 +112,25 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("file", help="assembly source file ('-' for stdin)")
 
     return parser
+
+
+# ---------------------------------------------------------------------------
+# executor wiring
+# ---------------------------------------------------------------------------
+
+def _make_cache(args: argparse.Namespace):
+    if args.no_cache:
+        return NullCache()
+    return ResultCache(args.cache_dir)
+
+
+def _make_executor(args: argparse.Namespace, cache):
+    progress = stderr_progress if args.jobs > 1 else None
+    return make_executor(workers=args.jobs, cache=cache, progress=progress)
+
+
+def _report_cache(cache) -> None:
+    print(cache.describe(), file=sys.stderr)
 
 
 # ---------------------------------------------------------------------------
@@ -91,66 +146,174 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         for policy in policies:
             result = run_attack_by_name(name, policy, args.secret)
             print(result)
+            if result.success and expected_closed(name, policy):
+                # A leak under a policy the paper says closes this
+                # attack is a reproduction failure; baseline leaks (and
+                # WFB's expected Meltdown leak) are the vulnerable
+                # behaviour being reproduced.
+                failures += 1
     return failures
 
 
-def _cmd_matrix(_args: argparse.Namespace) -> int:
-    matrix = security_matrix()
-    print(render_matrix(matrix))
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    cache = _make_cache(args)
+    matrix = security_matrix(executor=_make_executor(args, cache))
+    if args.format == "json":
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "matrix": {
+                attack: {policy: {"closed": result.closed,
+                                  "leaked": result.leaked}
+                         for policy, result in row.items()}
+                for attack, row in matrix.items()},
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_matrix(matrix))
+    _report_cache(cache)
     return 0
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
     names = suite_names() if args.name == "suite" else [args.name]
-    header = (f"{'benchmark':10s} {'IPC':>7s} {'d-miss':>7s} "
-              f"{'i-miss':>7s} {'cycles':>9s}")
-    print(header)
-    print("-" * len(header))
-    for name in names:
-        run = run_workload(name, args.policy,
-                           instructions=args.instructions)
-        print(f"{name:10s} {run.ipc:7.3f} "
-              f"{run.dcache_read_miss_rate:7.3f} "
-              f"{run.icache_miss_rate:7.3f} {run.result.cycles:9d}")
+    cache = _make_cache(args)
+    executor = _make_executor(args, cache)
+    jobs = [workload_job(name, args.policy,
+                         instructions=args.instructions)
+            for name in names]
+    results = executor.run(jobs)
+    if args.format == "json":
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "policy": args.policy.value,
+            "instructions": args.instructions,
+            "runs": [{
+                "benchmark": run.target,
+                "ipc": run.ipc,
+                "dcache_read_miss_rate": run.dcache_read_miss_rate,
+                "icache_miss_rate": run.icache_miss_rate,
+                "cycles": run.cycles,
+                "cached": run.from_cache,
+            } for run in results],
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        header = (f"{'benchmark':10s} {'IPC':>7s} {'d-miss':>7s} "
+                  f"{'i-miss':>7s} {'cycles':>9s}")
+        print(header)
+        print("-" * len(header))
+        for run in results:
+            print(f"{run.target:10s} {run.ipc:7.3f} "
+                  f"{run.dcache_read_miss_rate:7.3f} "
+                  f"{run.icache_miss_rate:7.3f} {run.cycles:9d}")
+    _report_cache(cache)
     return 0
+
+
+def _figures_data(runner: ExperimentRunner) -> Dict[str, Dict[str, object]]:
+    """Every figure's series, keyed by figure number.
+
+    The one source both output formats render from, so ``--format json``
+    exports exactly the series the text tables show.
+    """
+    wfc, wfb = CommitPolicy.WFC, CommitPolicy.WFB
+    base = CommitPolicy.BASELINE
+    figures: Dict[str, Dict[str, object]] = {}
+    for figure_id, structure in _SIZING_FIGURES:
+        figures[figure_id] = {
+            "title": f"{structure} size covering 99.99% of cycles",
+            "structure": structure,
+            "series": {"wfc": runner.shadow_sizing(structure, wfc),
+                       "wfb": runner.shadow_sizing(structure, wfb)},
+        }
+    figures["11"] = {
+        "title": "IPC normalized to the insecure baseline",
+        "series": {"wfc": runner.normalized_ipc(wfc)},
+    }
+    figures["12"] = {
+        "title": "d-cache read miss rate",
+        "series": {"wfc": runner.dcache_miss_rates(wfc),
+                   "baseline": runner.dcache_miss_rates(base)},
+    }
+    figures["13"] = {
+        "title": "hits on shadow d-cache",
+        "series": {"wfc": runner.shadow_dcache_hits(wfc)},
+    }
+    figures["14"] = {
+        "title": "i-cache miss rate",
+        "series": {"wfc": runner.icache_miss_rates(wfc),
+                   "baseline": runner.icache_miss_rates(base)},
+    }
+    figures["15"] = {
+        "title": "hits on shadow i-cache",
+        "series": {"wfc": runner.shadow_icache_hits(wfc)},
+    }
+    figures["16"] = {
+        "title": "commit rate of shadow state",
+        "series": {
+            "shadow_icache": runner.shadow_commit_rates("shadow_icache",
+                                                        wfc),
+            "shadow_dcache": runner.shadow_commit_rates("shadow_dcache",
+                                                        wfc)},
+    }
+    return figures
+
+
+def _render_figures_text(figures: Dict[str, Dict[str, object]]) -> str:
+    blocks = []
+    for figure_id, _structure in _SIZING_FIGURES:
+        data = figures[figure_id]
+        blocks.append(render_sizing_figure(
+            figure_id, data["structure"],
+            data["series"]["wfc"], data["series"]["wfb"]))
+    def heading(figure_id: str) -> str:
+        return f"Figure {figure_id}: {figures[figure_id]['title']}"
+
+    blocks.append(render_ipc_figure(figures["11"]["series"]["wfc"]))
+    blocks.append(render_two_series(
+        heading("12"),
+        "WFC", figures["12"]["series"]["wfc"],
+        "baseline", figures["12"]["series"]["baseline"]))
+    blocks.append(render_figure_series(
+        heading("13"), figures["13"]["series"]["wfc"], scale_max=1.0))
+    blocks.append(render_two_series(
+        heading("14"),
+        "WFC", figures["14"]["series"]["wfc"],
+        "baseline", figures["14"]["series"]["baseline"]))
+    blocks.append(render_figure_series(
+        heading("15"), figures["15"]["series"]["wfc"], scale_max=1.0))
+    blocks.append(render_two_series(
+        heading("16"),
+        "i-cache", figures["16"]["series"]["shadow_icache"],
+        "d-cache", figures["16"]["series"]["shadow_dcache"]))
+    return "\n\n".join(blocks)
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else None)
+    cache = _make_cache(args)
     runner = ExperimentRunner(benchmarks=benchmarks,
-                              instructions=args.instructions)
-    wfc, wfb = CommitPolicy.WFC, CommitPolicy.WFB
-    base = CommitPolicy.BASELINE
-    sizing_figures = [("6", "shadow_icache"), ("7", "shadow_dcache"),
-                      ("8", "shadow_itlb"), ("9", "shadow_dtlb")]
-    for figure_id, structure in sizing_figures:
-        print(render_sizing_figure(figure_id, structure,
-                                   runner.shadow_sizing(structure, wfc),
-                                   runner.shadow_sizing(structure, wfb)))
+                              instructions=args.instructions,
+                              executor=_make_executor(args, cache))
+    # One batch: a parallel executor sees the whole sweep at once.
+    runner.run_all(FIGURE_POLICIES)
+    figures = _figures_data(runner)
+    if args.format == "json":
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "instructions": args.instructions,
+            "benchmarks": runner.benchmarks,
+            "cache": {"hits": cache.hits, "misses": cache.misses},
+            "figures": figures,
+        }
+        json.dump(payload, sys.stdout, indent=2)
         print()
-    print(render_ipc_figure(runner.normalized_ipc(wfc)))
-    print()
-    print(render_two_series("Figure 12: d-cache read miss rate",
-                            "WFC", runner.dcache_miss_rates(wfc),
-                            "baseline", runner.dcache_miss_rates(base)))
-    print()
-    print(render_figure_series("Figure 13: hits on shadow d-cache",
-                               runner.shadow_dcache_hits(wfc),
-                               scale_max=1.0))
-    print()
-    print(render_two_series("Figure 14: i-cache miss rate",
-                            "WFC", runner.icache_miss_rates(wfc),
-                            "baseline", runner.icache_miss_rates(base)))
-    print()
-    print(render_figure_series("Figure 15: hits on shadow i-cache",
-                               runner.shadow_icache_hits(wfc),
-                               scale_max=1.0))
-    print()
-    print(render_two_series(
-        "Figure 16: commit rate of shadow state",
-        "i-cache", runner.shadow_commit_rates("shadow_icache", wfc),
-        "d-cache", runner.shadow_commit_rates("shadow_dcache", wfc)))
+    else:
+        print(_render_figures_text(figures))
+    _report_cache(cache)
     return 0
 
 

@@ -1,0 +1,140 @@
+"""Persistent on-disk result cache keyed by job content hash.
+
+Results live as one JSON file per job under
+``<cache-dir>/v<SCHEMA_VERSION>/<job-key>.json``.  The directory defaults
+to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; bumping
+:data:`~repro.exec.job.SCHEMA_VERSION` namespaces away entries written by
+incompatible simulator versions.  Writes are atomic (temp file +
+``os.replace``) so concurrent processes never observe torn entries, and
+unreadable entries degrade to cache misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exec.job import SCHEMA_VERSION, SimJob, SimResult
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """A directory of cached :class:`SimResult` JSON files."""
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        base = Path(directory) if directory is not None \
+            else default_cache_dir()
+        self.directory = base / f"v{SCHEMA_VERSION}"
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._store_warned = False
+
+    def path_for(self, job: SimJob) -> Path:
+        return self.directory / f"{job.key()}.json"
+
+    def get(self, job: SimJob) -> Optional[SimResult]:
+        """The cached result for ``job``, or None (counted as a miss)."""
+        path = self.path_for(job)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = SimResult.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # Missing, corrupt or schema-incompatible entry (including
+            # valid JSON that is not a result object): recompute.
+            self.misses += 1
+            return None
+        result.from_cache = True
+        self.hits += 1
+        return result
+
+    def put(self, job: SimJob, result: SimResult) -> None:
+        """Atomically persist ``result`` under ``job``'s hash.
+
+        An unwritable cache location must not discard a simulation that
+        already ran: storage failures degrade to a one-time warning.
+        """
+        payload = result.to_dict()
+        tmp_name = None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, self.path_for(job))
+        except OSError as error:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            if not self._store_warned:
+                print(f"warning: result cache disabled for this run: "
+                      f"cannot write {self.directory} ({error})",
+                      file=sys.stderr)
+                self._store_warned = True
+            return
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def describe(self) -> str:
+        return (f"cache {self.directory}: {self.hits} hits, "
+                f"{self.misses} misses, {self.stores} stored")
+
+
+class NullCache:
+    """Cache stand-in used by ``--no-cache``: never hits, never stores."""
+
+    directory = None
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def get(self, job: SimJob) -> Optional[SimResult]:
+        self.misses += 1
+        return None
+
+    def put(self, job: SimJob, result: SimResult) -> None:
+        pass
+
+    def clear(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def describe(self) -> str:
+        return "cache disabled"

@@ -1,0 +1,161 @@
+"""Executors: run a batch of :class:`SimJob` serially or in parallel.
+
+Both executors share the same contract: ``run(jobs)`` returns one
+:class:`SimResult` per job, in submission order, consulting the attached
+cache before simulating and persisting every fresh result afterwards.
+
+The :class:`ParallelExecutor` fans uncached jobs out over a
+``multiprocessing`` pool.  Workers rebuild the whole machine state from
+the job spec (the simulator is deterministic given a spec), so results
+are bit-identical to a serial run.  Jobs that declare a ``serial_group``
+are shipped to a single worker as one task and executed there in
+submission order.  Note the group co-locates only the jobs that
+actually simulate: cached members are served before dispatch, so a
+serial group composes with a result cache only when its jobs are
+individually reproducible from their specs (which also is what makes
+them cacheable at all).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
+
+from repro.exec.cache import NullCache, ResultCache
+from repro.exec.job import ATTACK, SimJob, SimResult
+
+# (completed count, total, job, result) -> None
+ProgressFn = Callable[[int, int, SimJob, SimResult], None]
+
+_IndexedJobs = List[Tuple[int, SimJob]]
+
+
+def execute_job(job: SimJob) -> SimResult:
+    """Run one job from scratch in this process (no cache involved)."""
+    # Imported lazily: the workload/attack layers themselves build jobs
+    # through repro.exec, so a module-level import would cycle.
+    if job.kind == ATTACK:
+        from repro.attacks.runner import run_attack_job
+
+        return run_attack_job(job)
+    from repro.workloads.suite import run_workload_job
+
+    return run_workload_job(job)
+
+
+def stderr_progress(done: int, total: int, job: SimJob,
+                    result: SimResult) -> None:
+    """Default progress reporter: one line per completed job."""
+    source = "cached" if result.from_cache else "simulated"
+    print(f"[{done}/{total}] {job.describe()} ({source})",
+          file=sys.stderr, flush=True)
+
+
+class SerialExecutor:
+    """Runs every job in this process, in submission order."""
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressFn] = None) -> None:
+        self.cache = cache if cache is not None else NullCache()
+        self.progress = progress
+
+    def run(self, jobs: Sequence[SimJob]) -> List[SimResult]:
+        results: List[Optional[SimResult]] = [None] * len(jobs)
+        for index, job in enumerate(jobs):
+            result = self.cache.get(job)
+            if result is None:
+                result = execute_job(job)
+                self.cache.put(job, result)
+            results[index] = result
+            if self.progress:
+                self.progress(index + 1, len(jobs), job, result)
+        return results  # type: ignore[return-value]
+
+
+class ParallelExecutor:
+    """Fans uncached jobs out over a ``multiprocessing`` pool.
+
+    ``workers`` bounds the pool size.  With one worker (or one runnable
+    task) the batch degrades to in-process serial execution, so the
+    executor is always safe to use.
+    """
+
+    def __init__(self, workers: int = 2,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressFn] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache if cache is not None else NullCache()
+        self.progress = progress
+
+    def run(self, jobs: Sequence[SimJob]) -> List[SimResult]:
+        total = len(jobs)
+        results: List[Optional[SimResult]] = [None] * total
+        done = 0
+
+        pending: _IndexedJobs = []
+        for index, job in enumerate(jobs):
+            cached = self.cache.get(job)
+            if cached is not None:
+                results[index] = cached
+                done += 1
+                if self.progress:
+                    self.progress(done, total, job, cached)
+            else:
+                pending.append((index, job))
+
+        for indexed_chunk in self._dispatch(_chunk_by_group(pending)):
+            for index, result in indexed_chunk:
+                self.cache.put(jobs[index], result)
+                results[index] = result
+                done += 1
+                if self.progress:
+                    self.progress(done, total, jobs[index], result)
+        return results  # type: ignore[return-value]
+
+    def _dispatch(self, chunks: List[_IndexedJobs]
+                  ) -> Iterator[List[Tuple[int, SimResult]]]:
+        if not chunks:
+            return
+        workers = min(self.workers, len(chunks))
+        if workers <= 1:
+            for chunk in chunks:
+                yield _run_chunk(chunk)
+            return
+        context = multiprocessing.get_context()
+        with context.Pool(processes=workers) as pool:
+            # Streamed so progress lines appear as chunks complete.
+            yield from pool.imap_unordered(_run_chunk, chunks)
+
+
+def make_executor(workers: int = 1, cache: Optional[ResultCache] = None,
+                  progress: Optional[ProgressFn] = None):
+    """The executor the CLI flags describe: parallel iff ``workers > 1``."""
+    if workers > 1:
+        return ParallelExecutor(workers=workers, cache=cache,
+                                progress=progress)
+    return SerialExecutor(cache=cache, progress=progress)
+
+
+def _chunk_by_group(pending: _IndexedJobs) -> List[_IndexedJobs]:
+    """Pool tasks: one chunk per serial group, singletons otherwise."""
+    groups: Dict[str, _IndexedJobs] = {}
+    chunks: List[_IndexedJobs] = []
+    for index, job in pending:
+        if job.serial_group is None:
+            chunks.append([(index, job)])
+        elif job.serial_group in groups:
+            groups[job.serial_group].append((index, job))
+        else:
+            chunk: _IndexedJobs = [(index, job)]
+            groups[job.serial_group] = chunk
+            chunks.append(chunk)
+    return chunks
+
+
+def _run_chunk(chunk: _IndexedJobs) -> List[Tuple[int, SimResult]]:
+    """Worker entry point: run one chunk's jobs in order."""
+    return [(index, execute_job(job)) for index, job in chunk]

@@ -1,0 +1,302 @@
+"""Declarative simulation jobs and their serializable results.
+
+A :class:`SimJob` fully describes one simulation — a suite workload or an
+attack, the commit policy, any config overrides and the instruction
+budget — independent of the process that will run it.  Two jobs with the
+same spec have the same :meth:`SimJob.key`, which is what the on-disk
+cache and the executors key on.
+
+A :class:`SimResult` carries everything the figures and tables derive
+their series from (counters, shadow-occupancy histograms, commit rates,
+attack outcome) as plain JSON-serializable data, and exposes the same
+derived-metric API as :class:`~repro.workloads.suite.WorkloadRun` so the
+analysis layer can consume either interchangeably.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.policy import CommitPolicy
+from repro.core.safespec import SafeSpecConfig
+from repro.errors import ConfigError
+from repro.memory.hierarchy import HierarchyConfig
+from repro.pipeline.config import CoreConfig
+from repro.statistics import Histogram, ratio
+
+# Bump whenever the result schema or simulator semantics change in a way
+# that invalidates cached results; the cache namespaces entries by it.
+SCHEMA_VERSION = 1
+
+# Single source of truth for the per-run budget; the workload suite
+# re-exports it (suite imports this module, never the reverse).
+DEFAULT_INSTRUCTION_BUDGET = 20_000
+
+WORKLOAD = "workload"
+ATTACK = "attack"
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """A content-hashable description of one simulation.
+
+    ``kind`` is ``"workload"`` (``target`` names a suite benchmark) or
+    ``"attack"`` (``target`` names a registered attack).  ``serial_group``
+    marks jobs that must not fan out to different workers (e.g. runs that
+    rely on machine state persisting between them); it never affects the
+    job hash because it changes *where* the job runs, not its result.
+    """
+
+    kind: str
+    target: str
+    policy: CommitPolicy = CommitPolicy.BASELINE
+    instructions: int = DEFAULT_INSTRUCTION_BUDGET
+    secret: int = 42
+    core_config: Optional[CoreConfig] = None
+    hierarchy_config: Optional[HierarchyConfig] = None
+    safespec_config: Optional[SafeSpecConfig] = None
+    serial_group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (WORKLOAD, ATTACK):
+            raise ConfigError(
+                f"job kind must be {WORKLOAD!r} or {ATTACK!r}, "
+                f"got {self.kind!r}")
+        if self.instructions < 1:
+            raise ConfigError("instruction budget must be >= 1")
+
+    def spec(self) -> Dict[str, Any]:
+        """The canonical content of this job (hash input)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "target": self.target,
+            "policy": self.policy.value,
+            "instructions": self.instructions,
+            "secret": self.secret if self.kind == ATTACK else None,
+            "core_config": _config_dict(self.core_config),
+            "hierarchy_config": _config_dict(self.hierarchy_config),
+            "safespec_config": _config_dict(self.safespec_config),
+        }
+
+    def key(self) -> str:
+        """Deterministic content hash identifying this job."""
+        canonical = json.dumps(self.spec(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label for progress reporting."""
+        return f"{self.kind}:{self.target}/{self.policy.value}"
+
+
+class FigureMetrics:
+    """The per-figure derived metrics, shared by every result type.
+
+    A subclass provides ``_counter(name)`` (simulation counter lookup)
+    and a ``shadow_commit_rates`` mapping; the formulas that turn those
+    into the paper's figure series live only here, so cached
+    :class:`SimResult` values and fresh
+    :class:`~repro.workloads.suite.WorkloadRun` values can never derive
+    a figure differently.
+    """
+
+    shadow_commit_rates: Dict[str, float]
+
+    def _counter(self, name: str) -> int:
+        raise NotImplementedError
+
+    @property
+    def dcache_read_miss_rate(self) -> float:
+        """Figure 12: read miss rate including the shadow d-cache."""
+        return ratio(self._counter("dcache_read_misses"),
+                     self._counter("dcache_read_accesses"))
+
+    @property
+    def dcache_shadow_hit_fraction(self) -> float:
+        """Figure 13: fraction of read hits that hit the shadow."""
+        hits = (self._counter("dcache_l1_hits")
+                + self._counter("dcache_shadow_hits"))
+        return ratio(self._counter("dcache_shadow_hits"), hits)
+
+    @property
+    def icache_miss_rate(self) -> float:
+        """Figure 14: i-cache miss rate including the shadow i-cache."""
+        return ratio(self._counter("icache_misses"),
+                     self._counter("icache_accesses"))
+
+    @property
+    def icache_shadow_hit_fraction(self) -> float:
+        """Figure 15: fraction of i-cache hits that hit the shadow."""
+        hits = (self._counter("icache_l1_hits")
+                + self._counter("icache_shadow_hits"))
+        return ratio(self._counter("icache_shadow_hits"), hits)
+
+    def shadow_commit_rate(self, structure: str) -> float:
+        """Figure 16: committed fraction of retired shadow entries."""
+        return self.shadow_commit_rates.get(structure, 0.0)
+
+
+@dataclass
+class SimResult(FigureMetrics):
+    """The JSON-serializable outcome of one :class:`SimJob`.
+
+    Exposes the derived per-figure metrics of
+    :class:`~repro.workloads.suite.WorkloadRun` (IPC, miss rates, shadow
+    hit fractions, occupancy percentiles, commit rates) plus the attack
+    verdict, so every consumer reads one result type.
+    """
+
+    job_key: str
+    kind: str
+    target: str
+    policy: CommitPolicy
+    cycles: int = 0
+    instructions: int = 0
+    halted_reason: str = ""
+    counters: Dict[str, int] = field(default_factory=dict)
+    # structure name -> {occupancy value -> cycle count}
+    shadow_occupancy: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    shadow_commit_rates: Dict[str, float] = field(default_factory=dict)
+    # attack outcome (kind == "attack" only)
+    secret: Optional[int] = None
+    leaked: Optional[int] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+    # transport metadata, never serialized
+    from_cache: bool = False
+
+    # -- derived workload metrics (same API as WorkloadRun) ---------------
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def _counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def shadow_size_percentile(self, structure: str,
+                               fraction: float = 0.9999) -> int:
+        """Figures 6-9: shadow size covering ``fraction`` of cycles."""
+        buckets = self.shadow_occupancy.get(structure)
+        if not buckets:
+            return 0
+        histogram = Histogram(structure)
+        for value, count in buckets.items():
+            histogram.record(value, count)
+        return histogram.percentile(fraction)
+
+    # -- attack verdict ----------------------------------------------------
+
+    @property
+    def success(self) -> bool:
+        """Whether the attack recovered the planted secret."""
+        return self.leaked is not None and self.leaked == self.secret
+
+    @property
+    def closed(self) -> bool:
+        return not self.success
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "job_key": self.job_key,
+            "kind": self.kind,
+            "target": self.target,
+            "policy": self.policy.value,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "halted_reason": self.halted_reason,
+            "counters": dict(self.counters),
+            "shadow_occupancy": {
+                name: {str(value): count for value, count in buckets.items()}
+                for name, buckets in self.shadow_occupancy.items()},
+            "shadow_commit_rates": dict(self.shadow_commit_rates),
+            "secret": self.secret,
+            "leaked": self.leaked,
+            "details": self.details,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimResult":
+        return cls(
+            job_key=payload["job_key"],
+            kind=payload["kind"],
+            target=payload["target"],
+            policy=CommitPolicy(payload["policy"]),
+            cycles=payload["cycles"],
+            instructions=payload["instructions"],
+            halted_reason=payload.get("halted_reason", ""),
+            counters=dict(payload.get("counters", {})),
+            shadow_occupancy={
+                name: {int(value): count for value, count in buckets.items()}
+                for name, buckets in
+                payload.get("shadow_occupancy", {}).items()},
+            shadow_commit_rates=dict(payload.get("shadow_commit_rates", {})),
+            secret=payload.get("secret"),
+            leaked=payload.get("leaked"),
+            details=dict(payload.get("details", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
+# job constructors
+# ---------------------------------------------------------------------------
+
+def workload_job(benchmark: str, policy: CommitPolicy,
+                 instructions: int = DEFAULT_INSTRUCTION_BUDGET,
+                 core_config: Optional[CoreConfig] = None,
+                 hierarchy_config: Optional[HierarchyConfig] = None,
+                 safespec_config: Optional[SafeSpecConfig] = None) -> SimJob:
+    """A job running one suite benchmark under one policy."""
+    return SimJob(kind=WORKLOAD, target=benchmark, policy=policy,
+                  instructions=instructions, core_config=core_config,
+                  hierarchy_config=hierarchy_config,
+                  safespec_config=safespec_config)
+
+
+def attack_job(name: str, policy: CommitPolicy, secret: int = 42) -> SimJob:
+    """A job running one attack PoC under one policy.
+
+    Each attack run builds and mistrains its own machines from the spec
+    alone, so attack jobs carry no serial group and fan out freely; a
+    future run family that *does* persist machine state across jobs
+    should construct its :class:`SimJob` with an explicit
+    ``serial_group`` to stay on one worker.
+    """
+    return SimJob(kind=ATTACK, target=name, policy=policy, secret=secret)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _config_dict(config: Any) -> Optional[Dict[str, Any]]:
+    """A dataclass config as a JSON-clean nested dict (None passthrough)."""
+    if config is None:
+        return None
+    return _json_clean(dataclasses.asdict(config))
+
+
+def _json_clean(value: Any) -> Any:
+    """Recursively coerce a value into JSON-representable primitives."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _json_clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_clean(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def json_clean_details(details: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce an attack's free-form details dict for serialization."""
+    return _json_clean(details)

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig, SafeSpecEngine
-from repro.errors import ConfigError, SimulationError
+from repro.errors import SimulationError
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.predictors import BimodalPredictor
 from repro.isa.instructions import (AluOp, BranchCond, INSTRUCTION_BYTES,

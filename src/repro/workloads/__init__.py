@@ -11,7 +11,8 @@ substitution rationale.
 from repro.workloads.profiles import (WorkloadProfile, SUITE_PROFILES,
                                       profile_by_name, suite_names)
 from repro.workloads.generator import generate_program, WorkloadProgram
-from repro.workloads.suite import run_workload, WorkloadRun
+from repro.workloads.suite import (run_workload, run_workload_job,
+                                   WorkloadRun)
 
 __all__ = [
     "SUITE_PROFILES",
@@ -21,5 +22,6 @@ __all__ = [
     "generate_program",
     "profile_by_name",
     "run_workload",
+    "run_workload_job",
     "suite_names",
 ]

@@ -7,18 +7,25 @@ from typing import Dict, Optional, Union
 
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig
+from repro.exec.job import (DEFAULT_INSTRUCTION_BUDGET, FigureMetrics,
+                            SimJob, SimResult)
 from repro.machine import Machine
+from repro.memory.hierarchy import HierarchyConfig
+from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import RunResult
-from repro.statistics import Histogram, ratio
+from repro.statistics import Histogram
 from repro.workloads.generator import generate_program, WorkloadProgram
 from repro.workloads.profiles import WorkloadProfile, profile_by_name
 
-DEFAULT_INSTRUCTION_BUDGET = 20_000
-
 
 @dataclass
-class WorkloadRun:
-    """One workload execution plus the derived per-figure metrics."""
+class WorkloadRun(FigureMetrics):
+    """One workload execution plus the derived per-figure metrics.
+
+    The figure formulas themselves live in
+    :class:`~repro.exec.job.FigureMetrics`, shared with the
+    serializable :class:`~repro.exec.job.SimResult`.
+    """
 
     workload: str
     policy: CommitPolicy
@@ -35,47 +42,19 @@ class WorkloadRun:
     def _counter(self, name: str) -> int:
         return self.result.counters.get(name, 0)
 
-    @property
-    def dcache_read_miss_rate(self) -> float:
-        """Figure 12: read miss rate including the shadow d-cache."""
-        return ratio(self._counter("dcache_read_misses"),
-                     self._counter("dcache_read_accesses"))
-
-    @property
-    def dcache_shadow_hit_fraction(self) -> float:
-        """Figure 13: fraction of read hits that hit the shadow."""
-        hits = (self._counter("dcache_l1_hits")
-                + self._counter("dcache_shadow_hits"))
-        return ratio(self._counter("dcache_shadow_hits"), hits)
-
-    @property
-    def icache_miss_rate(self) -> float:
-        """Figure 14: i-cache miss rate including the shadow i-cache."""
-        return ratio(self._counter("icache_misses"),
-                     self._counter("icache_accesses"))
-
-    @property
-    def icache_shadow_hit_fraction(self) -> float:
-        """Figure 15: fraction of i-cache hits that hit the shadow."""
-        hits = (self._counter("icache_l1_hits")
-                + self._counter("icache_shadow_hits"))
-        return ratio(self._counter("icache_shadow_hits"), hits)
-
     def shadow_size_percentile(self, structure: str,
                                fraction: float = 0.9999) -> int:
         """Figures 6-9: shadow size covering ``fraction`` of cycles."""
         histogram = self.shadow_occupancy.get(structure)
         return histogram.percentile(fraction) if histogram else 0
 
-    def shadow_commit_rate(self, structure: str) -> float:
-        """Figure 16: committed fraction of retired shadow entries."""
-        return self.shadow_commit_rates.get(structure, 0.0)
-
 
 def run_workload(workload: Union[str, WorkloadProfile, WorkloadProgram],
                  policy: CommitPolicy = CommitPolicy.BASELINE,
                  instructions: int = DEFAULT_INSTRUCTION_BUDGET,
                  safespec_config: Optional[SafeSpecConfig] = None,
+                 core_config: Optional[CoreConfig] = None,
+                 hierarchy_config: Optional[HierarchyConfig] = None,
                  ) -> WorkloadRun:
     """Run one workload on a fresh machine under the given policy.
 
@@ -86,7 +65,9 @@ def run_workload(workload: Union[str, WorkloadProfile, WorkloadProgram],
         workload = profile_by_name(workload)
     if isinstance(workload, WorkloadProfile):
         workload = generate_program(workload)
-    machine = Machine(policy=policy, safespec_config=safespec_config)
+    machine = Machine(policy=policy, core_config=core_config,
+                      hierarchy_config=hierarchy_config,
+                      safespec_config=safespec_config)
     workload.apply_memory_image(machine)
     result = machine.run(workload.program, max_instructions=instructions)
 
@@ -102,4 +83,33 @@ def run_workload(workload: Union[str, WorkloadProfile, WorkloadProgram],
         result=result,
         shadow_occupancy=occupancy,
         shadow_commit_rates=commit_rates,
+    )
+
+
+def run_workload_job(job: SimJob) -> SimResult:
+    """Pure job-spec entry point: rebuild all machine state from ``job``.
+
+    This is what executor workers call; everything the figures need is
+    folded into the returned (serializable) :class:`SimResult`.
+    """
+    run = run_workload(
+        job.target, job.policy,
+        instructions=job.instructions,
+        safespec_config=job.safespec_config,
+        core_config=job.core_config,
+        hierarchy_config=job.hierarchy_config,
+    )
+    return SimResult(
+        job_key=job.key(),
+        kind=job.kind,
+        target=job.target,
+        policy=job.policy,
+        cycles=run.result.cycles,
+        instructions=run.result.instructions,
+        halted_reason=run.result.halted_reason,
+        counters=dict(run.result.counters),
+        shadow_occupancy={
+            name: dict(histogram.items())
+            for name, histogram in run.shadow_occupancy.items()},
+        shadow_commit_rates=dict(run.shadow_commit_rates),
     )

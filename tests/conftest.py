@@ -1,0 +1,17 @@
+"""Suite-wide fixtures.
+
+Every test runs with ``REPRO_CACHE_DIR`` pointed at a per-session
+temporary directory so CLI invocations that default to the persistent
+result cache can never read from (or write into) the developer's real
+``~/.cache/repro``.
+"""
+
+import pytest
+
+from repro.exec.cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path_factory, monkeypatch):
+    cache_dir = tmp_path_factory.getbasetemp() / "repro-cache"
+    monkeypatch.setenv(CACHE_DIR_ENV, str(cache_dir))
