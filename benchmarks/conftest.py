@@ -6,8 +6,8 @@ session; the per-bench timing then measures series derivation over the
 memoized runs, while the first bench to need a policy pays for its
 simulations.
 
-The runner submits its simulations through :mod:`repro.exec`, so the
-sweep itself is tunable without editing the benches:
+The runner is a thin client of :class:`repro.api.session.Session`, so
+the sweep itself is tunable without editing the benches:
 
 * ``REPRO_BENCH_JOBS=N`` fans the simulations out over N worker
   processes.
@@ -20,8 +20,7 @@ import os
 
 import pytest
 
-from repro.analysis.experiment import ExperimentRunner
-from repro.exec.cache import ResultCache
+from repro.api.session import Session
 
 # Per-run instruction budget.  Large enough for stable rates/percentiles,
 # small enough that the full 22-benchmark x 3-policy sweep stays in the
@@ -33,9 +32,9 @@ BENCH_INSTRUCTIONS = 8_000
 def runner():
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
     cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
-    cache = ResultCache(cache_dir) if cache_dir else None
-    runner = ExperimentRunner(instructions=BENCH_INSTRUCTIONS,
-                              jobs=jobs, cache=cache)
+    session = Session(jobs=jobs, cache=cache_dir is not None,
+                      cache_dir=cache_dir)
+    runner = session.experiment(instructions=BENCH_INSTRUCTIONS)
     if jobs > 1:
         # Figure methods batch per policy; prefetching the whole
         # three-policy sweep here gives the pool the widest batch and

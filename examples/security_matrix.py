@@ -6,6 +6,14 @@ I-cache variant, the iTLB/dTLB variants and the transient (TSA)
 channel — under the insecure baseline, WFB and WFC, and prints the
 closed/LEAKED matrix.
 
+The whole campaign is three lines against the unified API: a
+:class:`repro.api.session.Session` owns the executor and result cache,
+``session.matrix()`` submits every (attack, policy) pair as one batch
+(the attack list derives from the registry), and ``render_matrix``
+prints the paper's table.  The legacy
+``repro.attacks.security_matrix()`` helper still works as a wrapper
+over exactly this.
+
 Expected outcome (the paper's Tables III & IV):
 
 * the baseline leaks under every attack;
@@ -17,14 +25,14 @@ Usage::
     python examples/security_matrix.py
 """
 
-from repro.attacks import security_matrix
+from repro.api import Session
 from repro.attacks.runner import render_matrix
 
 
 def main() -> None:
-    print("Running all attacks under BASELINE / WFB / WFC "
-          "(this takes a couple of minutes)...\n")
-    matrix = security_matrix(secret=42)
+    print("Running all attacks under BASELINE / WFB / WFC...\n")
+    session = Session(cache=False)
+    matrix = session.matrix(secret=42)
     print(render_matrix(matrix))
     print()
     for attack, row in matrix.items():

@@ -37,21 +37,32 @@ class ExperimentRunner:
     with an ``Average`` entry appended (arithmetic mean for rates/sizes,
     geometric mean for normalized IPC — matching the paper).
 
-    ``executor`` overrides the execution strategy entirely; otherwise
-    ``jobs``/``cache``/``progress`` pick one (``jobs > 1`` fans
-    simulations out over a process pool, ``cache`` persists results
-    across invocations).
+    The runner is a legacy wrapper over the unified API: its
+    simulations run through a :class:`~repro.api.session.Session`
+    (prefer :meth:`Session.experiment` to construct one).  ``session``
+    supplies the wiring directly; ``executor`` overrides the execution
+    strategy; otherwise ``jobs``/``cache``/``progress`` pick one
+    (``jobs > 1`` fans simulations out over a process pool, ``cache``
+    persists results across invocations).
     """
 
     def __init__(self, benchmarks: Optional[List[str]] = None,
                  instructions: int = DEFAULT_INSTRUCTION_BUDGET,
                  executor=None, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
-                 progress=None) -> None:
+                 progress=None, session=None) -> None:
+        # Imported here: repro.api.session itself builds runners.
+        from repro.api.session import Session
+
         self.benchmarks = benchmarks or suite_names()
         self.instructions = instructions
-        self.executor = executor if executor is not None else make_executor(
-            workers=jobs, cache=cache, progress=progress)
+        if session is None:
+            if executor is None:
+                executor = make_executor(workers=jobs, cache=cache,
+                                         progress=progress)
+            session = Session(executor=executor)
+        self.session = session
+        self.executor = session.executor
         self._memo: Dict[Tuple[str, CommitPolicy], SimResult] = {}
 
     def job_for(self, benchmark: str, policy: CommitPolicy) -> SimJob:

@@ -1,4 +1,9 @@
-"""Text rendering of the reproduced figures and tables.
+"""Figure series extraction and text rendering.
+
+:func:`figures_data` derives every per-figure series from one
+:class:`~repro.analysis.experiment.ExperimentRunner` — the single source
+both output formats (JSON export and the text tables below) render
+from, so ``--format json`` exports exactly the series the text shows.
 
 The paper's figures are bar charts over the benchmark suite; in a
 terminal reproduction each becomes an aligned table with one row per
@@ -9,7 +14,90 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.core.policy import CommitPolicy
+
 _BAR_WIDTH = 40
+
+# (figure id, shadow structure) for the Figures 6-9 sizing studies.
+SIZING_FIGURES = [("6", "shadow_icache"), ("7", "shadow_dcache"),
+                  ("8", "shadow_itlb"), ("9", "shadow_dtlb")]
+
+
+def figures_data(runner) -> Dict[str, Dict[str, object]]:
+    """Every figure's series, keyed by figure number."""
+    wfc, wfb = CommitPolicy.WFC, CommitPolicy.WFB
+    base = CommitPolicy.BASELINE
+    figures: Dict[str, Dict[str, object]] = {}
+    for figure_id, structure in SIZING_FIGURES:
+        figures[figure_id] = {
+            "title": f"{structure} size covering 99.99% of cycles",
+            "structure": structure,
+            "series": {"wfc": runner.shadow_sizing(structure, wfc),
+                       "wfb": runner.shadow_sizing(structure, wfb)},
+        }
+    figures["11"] = {
+        "title": "IPC normalized to the insecure baseline",
+        "series": {"wfc": runner.normalized_ipc(wfc)},
+    }
+    figures["12"] = {
+        "title": "d-cache read miss rate",
+        "series": {"wfc": runner.dcache_miss_rates(wfc),
+                   "baseline": runner.dcache_miss_rates(base)},
+    }
+    figures["13"] = {
+        "title": "hits on shadow d-cache",
+        "series": {"wfc": runner.shadow_dcache_hits(wfc)},
+    }
+    figures["14"] = {
+        "title": "i-cache miss rate",
+        "series": {"wfc": runner.icache_miss_rates(wfc),
+                   "baseline": runner.icache_miss_rates(base)},
+    }
+    figures["15"] = {
+        "title": "hits on shadow i-cache",
+        "series": {"wfc": runner.shadow_icache_hits(wfc)},
+    }
+    figures["16"] = {
+        "title": "commit rate of shadow state",
+        "series": {
+            "shadow_icache": runner.shadow_commit_rates("shadow_icache",
+                                                        wfc),
+            "shadow_dcache": runner.shadow_commit_rates("shadow_dcache",
+                                                        wfc)},
+    }
+    return figures
+
+
+def render_figures_text(figures: Dict[str, Dict[str, object]]) -> str:
+    """All figure tables as one text block, in figure-number order."""
+    blocks = []
+    for figure_id, _structure in SIZING_FIGURES:
+        data = figures[figure_id]
+        blocks.append(render_sizing_figure(
+            figure_id, data["structure"],
+            data["series"]["wfc"], data["series"]["wfb"]))
+
+    def heading(figure_id: str) -> str:
+        return f"Figure {figure_id}: {figures[figure_id]['title']}"
+
+    blocks.append(render_ipc_figure(figures["11"]["series"]["wfc"]))
+    blocks.append(render_two_series(
+        heading("12"),
+        "WFC", figures["12"]["series"]["wfc"],
+        "baseline", figures["12"]["series"]["baseline"]))
+    blocks.append(render_figure_series(
+        heading("13"), figures["13"]["series"]["wfc"], scale_max=1.0))
+    blocks.append(render_two_series(
+        heading("14"),
+        "WFC", figures["14"]["series"]["wfc"],
+        "baseline", figures["14"]["series"]["baseline"]))
+    blocks.append(render_figure_series(
+        heading("15"), figures["15"]["series"]["wfc"], scale_max=1.0))
+    blocks.append(render_two_series(
+        heading("16"),
+        "i-cache", figures["16"]["series"]["shadow_icache"],
+        "d-cache", figures["16"]["series"]["shadow_dcache"]))
+    return "\n\n".join(blocks)
 
 
 def render_figure_series(title: str, series: Dict[str, float],

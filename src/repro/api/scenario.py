@@ -1,0 +1,192 @@
+"""Declarative scenarios and parameter-sweep grids.
+
+A :class:`Scenario` is the user-facing description of one simulation —
+what to run (a registered workload or attack), under which commit
+policy, with which config overrides and free-form ``params`` — validated
+against the component registries at construction and lowered to a
+content-hashable :class:`~repro.exec.job.SimJob` with :meth:`Scenario.job`.
+
+A :class:`Sweep` expands a cartesian grid of benchmarks x policies x
+named config variants (e.g. ROB/LDQ/shadow-sizing ablations) into a
+deterministic batch of scenarios, making parameter-sweep studies a
+first-class, cacheable API instead of bespoke scripts::
+
+    sweep = Sweep(benchmarks=["mcf", "xz"],
+                  policies=[CommitPolicy.WFC],
+                  variants={f"rob{n}": {"core_config":
+                                        CoreConfig(rob_entries=n)}
+                            for n in (96, 128, 224)})
+    result = Session(jobs=4).sweep(sweep)
+
+Expansion order is benchmark-major, then policy, then variant (all in
+the order given), so job batches — and therefore cache keys, progress
+lines and result rows — are stable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Dict, List, Mapping, Optional, Sequence)
+
+from repro.api.registry import ATTACKS, WORKLOADS
+from repro.core.policy import CommitPolicy
+from repro.core.safespec import SafeSpecConfig
+from repro.errors import ConfigError
+from repro.exec.job import (ATTACK, DEFAULT_INSTRUCTION_BUDGET, WORKLOAD,
+                            SimJob)
+from repro.memory.hierarchy import HierarchyConfig
+from repro.pipeline.config import CoreConfig
+
+# The config axes a sweep variant may override.
+_OVERRIDE_KEYS = ("core_config", "hierarchy_config", "safespec_config")
+
+DEFAULT_VARIANT = "default"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative simulation spec.
+
+    Prefer the validating constructors :meth:`workload` and
+    :meth:`attack`; ``params`` carries scenario-kind-specific knobs (an
+    attack's planted ``secret``, future workload parameters) and flows
+    into the job hash.  ``label`` is a human-readable tag for sweep
+    points and progress reporting; it never affects the job hash.
+    """
+
+    kind: str
+    target: str
+    policy: CommitPolicy = CommitPolicy.BASELINE
+    instructions: int = DEFAULT_INSTRUCTION_BUDGET
+    # hash=False: a dict value would break the generated __hash__
+    # (same treatment as SimJob.params); equality still compares it.
+    params: Mapping[str, Any] = field(default_factory=dict, hash=False)
+    core_config: Optional[CoreConfig] = None
+    hierarchy_config: Optional[HierarchyConfig] = None
+    safespec_config: Optional[SafeSpecConfig] = None
+    serial_group: Optional[str] = None
+    label: str = ""
+
+    @classmethod
+    def workload(cls, benchmark: str,
+                 policy: CommitPolicy = CommitPolicy.BASELINE, *,
+                 instructions: int = DEFAULT_INSTRUCTION_BUDGET,
+                 core_config: Optional[CoreConfig] = None,
+                 hierarchy_config: Optional[HierarchyConfig] = None,
+                 safespec_config: Optional[SafeSpecConfig] = None,
+                 label: str = "", **params: Any) -> "Scenario":
+        """A scenario running one registered suite benchmark."""
+        WORKLOADS.entry(benchmark)      # unknown names fail here, loudly
+        return cls(kind=WORKLOAD, target=benchmark, policy=policy,
+                   instructions=instructions, params=params,
+                   core_config=core_config,
+                   hierarchy_config=hierarchy_config,
+                   safespec_config=safespec_config, label=label)
+
+    @classmethod
+    def attack(cls, name: str,
+               policy: CommitPolicy = CommitPolicy.BASELINE, *,
+               secret: int = 42,
+               instructions: int = DEFAULT_INSTRUCTION_BUDGET,
+               serial_group: Optional[str] = None,
+               label: str = "", **params: Any) -> "Scenario":
+        """A scenario running one registered attack PoC.
+
+        The planted ``secret`` is ordinary scenario data: it lands in
+        ``params`` next to any attack-specific extras.
+        """
+        ATTACKS.entry(name)
+        return cls(kind=ATTACK, target=name, policy=policy,
+                   instructions=instructions,
+                   params={"secret": secret, **params},
+                   serial_group=serial_group, label=label)
+
+    def job(self) -> SimJob:
+        """Lower this scenario to its content-hashable job."""
+        return SimJob(kind=self.kind, target=self.target, policy=self.policy,
+                      instructions=self.instructions,
+                      params=dict(self.params),
+                      core_config=self.core_config,
+                      hierarchy_config=self.hierarchy_config,
+                      safespec_config=self.safespec_config,
+                      serial_group=self.serial_group)
+
+    def describe(self) -> str:
+        return self.label or self.job().describe()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """The grid coordinates of one sweep cell."""
+
+    benchmark: str
+    policy: CommitPolicy
+    variant: str
+
+    def describe(self) -> str:
+        return f"{self.benchmark}/{self.policy.value}/{self.variant}"
+
+
+class Sweep:
+    """A cartesian grid of benchmarks x policies x config variants.
+
+    ``variants`` maps a variant name to the config overrides defining it
+    (any of ``core_config``, ``hierarchy_config``, ``safespec_config``);
+    omitted, the sweep has the single unmodified ``"default"`` variant.
+    Benchmarks are validated against the workload registry up front so a
+    typo fails before any simulation runs.
+    """
+
+    def __init__(self, benchmarks: Sequence[str],
+                 policies: Sequence[CommitPolicy] = (CommitPolicy.BASELINE,),
+                 instructions: int = DEFAULT_INSTRUCTION_BUDGET,
+                 variants: Optional[Mapping[str, Mapping[str, Any]]] = None,
+                 ) -> None:
+        if not benchmarks:
+            raise ConfigError("sweep needs at least one benchmark")
+        if not policies:
+            raise ConfigError("sweep needs at least one policy")
+        if variants is not None and not variants:
+            # An explicitly empty axis is a degenerate grid, not a
+            # request for the default variant — reject it like the
+            # other empty axes instead of silently running defaults.
+            raise ConfigError("sweep needs at least one variant "
+                              "(omit `variants` for the default)")
+        for benchmark in benchmarks:
+            WORKLOADS.entry(benchmark)
+        self.benchmarks = list(benchmarks)
+        self.policies = list(policies)
+        self.instructions = instructions
+        self.variants: Dict[str, Dict[str, Any]] = {}
+        if variants is None:
+            variants = {DEFAULT_VARIANT: {}}
+        for name, overrides in variants.items():
+            unknown = set(overrides) - set(_OVERRIDE_KEYS)
+            if unknown:
+                raise ConfigError(
+                    f"variant {name!r} overrides unknown config axes "
+                    f"{sorted(unknown)}; allowed: {list(_OVERRIDE_KEYS)}")
+            self.variants[name] = dict(overrides)
+
+    def points(self) -> List[SweepPoint]:
+        """Grid cells in expansion order (benchmark, policy, variant)."""
+        return [SweepPoint(benchmark, policy, variant)
+                for benchmark in self.benchmarks
+                for policy in self.policies
+                for variant in self.variants]
+
+    def scenarios(self) -> List[Scenario]:
+        """One workload scenario per grid cell, in :meth:`points` order."""
+        return [Scenario.workload(point.benchmark, point.policy,
+                                  instructions=self.instructions,
+                                  label=point.describe(),
+                                  **self.variants[point.variant])
+                for point in self.points()]
+
+    def jobs(self) -> List[SimJob]:
+        """The deterministic job batch this sweep expands to."""
+        return [scenario.job() for scenario in self.scenarios()]
+
+    def __len__(self) -> int:
+        return (len(self.benchmarks) * len(self.policies)
+                * len(self.variants))

@@ -1,0 +1,165 @@
+"""The :class:`Session` facade: one object owning execution wiring.
+
+Every entry point used to hand-wire its own cache and executor (the CLI,
+:class:`~repro.analysis.experiment.ExperimentRunner`, the benchmark
+harness, the examples) — and ``repro attack`` bypassed the exec layer
+entirely.  A session owns that wiring once::
+
+    session = Session(jobs=4, cache_dir="~/.cache/repro")
+    matrix = session.matrix()                       # Tables III & IV
+    figures = session.figures(benchmarks=["mcf"])   # Figures 6-9, 11-16
+    result = session.sweep(Sweep(...))              # ablation grids
+
+``security_matrix`` and ``ExperimentRunner`` remain as thin legacy
+wrappers over this API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.api.scenario import Scenario, Sweep, SweepPoint
+from repro.core.policy import CommitPolicy
+from repro.errors import ConfigError
+from repro.exec.cache import NullCache, ResultCache
+from repro.exec.executor import ProgressFn, make_executor
+from repro.exec.job import DEFAULT_INSTRUCTION_BUDGET, SimJob, SimResult
+
+# The matrix default: the paper's protected variants plus the insecure
+# baseline they are compared against.
+MATRIX_POLICIES = (CommitPolicy.BASELINE, CommitPolicy.WFB,
+                   CommitPolicy.WFC)
+
+Runnable = Union[Scenario, SimJob]
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep: grid points and their results, index-aligned."""
+
+    points: List[SweepPoint]
+    results: List[SimResult]
+
+    def __iter__(self) -> Iterator[Tuple[SweepPoint, SimResult]]:
+        return iter(zip(self.points, self.results))
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def result(self, benchmark: str, policy: CommitPolicy,
+               variant: str = "default") -> SimResult:
+        """The result at one grid cell."""
+        for point, result in self:
+            if (point.benchmark == benchmark and point.policy == policy
+                    and point.variant == variant):
+                return result
+        raise ConfigError(
+            f"no sweep point {benchmark}/{policy.value}/{variant}")
+
+    @property
+    def cached_count(self) -> int:
+        """How many cells were served from the result cache."""
+        return sum(1 for result in self.results if result.from_cache)
+
+
+class Session:
+    """Owns the executor + cache pair every batch API runs through.
+
+    Arguments:
+        jobs: worker processes (``> 1`` fans batches out over a
+            ``multiprocessing`` pool with bit-identical results).
+        cache: back the session with the persistent on-disk result
+            cache (default); ``False`` simulates everything fresh.
+        cache_dir: cache location (default ``$REPRO_CACHE_DIR`` or
+            ``~/.cache/repro``).
+        progress: per-completed-job callback (see
+            :data:`~repro.exec.executor.ProgressFn`).
+        executor: bring-your-own executor; overrides every other
+            argument and supplies its own cache.
+    """
+
+    def __init__(self, jobs: int = 1, cache: bool = True,
+                 cache_dir: Optional[str] = None,
+                 progress: Optional[ProgressFn] = None,
+                 executor: Any = None) -> None:
+        if executor is not None:
+            self.executor = executor
+            attached = getattr(executor, "cache", None)
+            self.cache = attached if attached is not None else NullCache()
+        else:
+            self.cache = ResultCache(cache_dir) if cache else NullCache()
+            self.executor = make_executor(workers=jobs, cache=self.cache,
+                                          progress=progress)
+
+    # -- generic execution -------------------------------------------------
+
+    def run(self, scenarios: Iterable[Runnable]) -> List[SimResult]:
+        """Run a batch of scenarios (or raw jobs), in submission order."""
+        jobs = [item.job() if isinstance(item, Scenario) else item
+                for item in scenarios]
+        return self.executor.run(jobs)
+
+    # -- the batch products ------------------------------------------------
+
+    def matrix(self, attacks: Optional[Sequence[str]] = None,
+               policies: Optional[Sequence[CommitPolicy]] = None,
+               secret: int = 42) -> Dict[str, Dict[str, Any]]:
+        """Every (attack, policy) outcome — the paper's Tables III & IV.
+
+        Returns ``{attack_name: {policy_value: AttackResult}}`` in
+        registry (table) order.
+        """
+        from repro.api.registry import ATTACKS
+        from repro.attacks.runner import attack_result_from_sim
+
+        names = list(attacks) if attacks is not None else ATTACKS.names()
+        chosen = list(policies) if policies else list(MATRIX_POLICIES)
+        scenarios = [Scenario.attack(name, policy, secret=secret)
+                     for name in names for policy in chosen]
+        results = self.run(scenarios)
+        matrix: Dict[str, Dict[str, Any]] = {name: {} for name in names}
+        for scenario, result in zip(scenarios, results):
+            matrix[scenario.target][scenario.policy.value] = \
+                attack_result_from_sim(result)
+        return matrix
+
+    def experiment(self, benchmarks: Optional[List[str]] = None,
+                   instructions: int = DEFAULT_INSTRUCTION_BUDGET):
+        """An :class:`~repro.analysis.experiment.ExperimentRunner` whose
+        simulations run through this session."""
+        from repro.analysis.experiment import ExperimentRunner
+
+        return ExperimentRunner(benchmarks=benchmarks,
+                                instructions=instructions, session=self)
+
+    def figures(self, benchmarks: Optional[List[str]] = None,
+                instructions: int = DEFAULT_INSTRUCTION_BUDGET
+                ) -> Dict[str, Dict[str, Any]]:
+        """Every performance figure's series, keyed by figure number.
+
+        Submits the whole (benchmark x policy) grid as one batch, so a
+        parallel session fans the full sweep out at once.
+        """
+        from repro.analysis.experiment import FIGURE_POLICIES
+        from repro.analysis.report import figures_data
+
+        runner = self.experiment(benchmarks, instructions)
+        runner.run_all(FIGURE_POLICIES)
+        return figures_data(runner)
+
+    def sweep(self, sweep: Sweep) -> SweepResult:
+        """Expand and run a :class:`~repro.api.scenario.Sweep` grid."""
+        points = sweep.points()
+        results = self.run(sweep.scenarios())
+        return SweepResult(points=points, results=results)
+
+    # -- cache introspection -----------------------------------------------
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        return {"hits": self.cache.hits, "misses": self.cache.misses,
+                "stores": self.cache.stores}
+
+    def describe_cache(self) -> str:
+        return self.cache.describe()

@@ -16,22 +16,45 @@ dTLB          ``tlb_variant``        leaks     safe   safe
 Transient     ``tsa``                n/a       (small shadow leaks;
                                                SECURE sizing safe)
 ============  =====================  ========  =====  =====
+
+Each entry point registers itself with
+:data:`repro.api.registry.ATTACKS` (``@register_attack``), which is
+where the catalogue — ``ALL_ATTACKS``, CLI choices, matrix rows and the
+expected-closed metadata — derives from.  This ``__init__`` is the one
+place the attack modules are imported, so registration (and hence
+table) order is fixed here no matter which entry point touches the
+package first.
 """
 
-from repro.attacks.runner import (AttackResult, run_attack_by_name,
-                                  security_matrix, ALL_ATTACKS)
+from repro.attacks.runner import (AttackResult, expected_closed,
+                                  run_attack_by_name, security_matrix)
+# Import order below IS the registry order: the paper's Tables III/IV
+# row order (spectre_v1, spectre_v1_pp, spectre_v2, meltdown,
+# meltdown_spectre, icache, itlb, dtlb, transient).
 from repro.attacks.spectre_v1 import run_spectre_v1
+from repro.attacks.spectre_pp import run_spectre_v1_prime_probe
 from repro.attacks.spectre_v2 import run_spectre_v2
 from repro.attacks.meltdown import run_meltdown
 from repro.attacks.meltdown_spectre import run_meltdown_spectre
 from repro.attacks.icache_variant import run_icache_variant
-from repro.attacks.spectre_pp import run_spectre_v1_prime_probe
 from repro.attacks.tlb_variant import run_dtlb_variant, run_itlb_variant
 from repro.attacks.tsa import run_tsa
+
+
+def __getattr__(name):
+    # Resolved lazily (after every registration above has run) so the
+    # legacy tuple always reflects the fully-populated registry.
+    if name == "ALL_ATTACKS":
+        from repro.attacks import runner
+
+        return runner.ALL_ATTACKS
+    raise AttributeError(
+        f"module 'repro.attacks' has no attribute {name!r}")
 
 __all__ = [
     "ALL_ATTACKS",
     "AttackResult",
+    "expected_closed",
     "run_attack_by_name",
     "run_dtlb_variant",
     "run_icache_variant",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.attacks.channels import IcacheReloadChannel
 from repro.attacks.gadgets import AttackLayout, warm_lines
+from repro.api.registry import register_attack
 from repro.attacks.runner import AttackResult
 from repro.core.policy import CommitPolicy
 from repro.isa.assembler import ProgramBuilder
@@ -89,6 +90,7 @@ def _patch_fn_base(layout: AttackLayout, victim: Program) -> Program:
                    labels=dict(victim.labels))
 
 
+@register_attack("icache")
 def run_icache_variant(policy: CommitPolicy,
                        secret: int = 42) -> AttackResult:
     """Run the I-cache Spectre variant under the given commit policy."""

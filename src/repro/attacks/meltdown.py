@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from repro.attacks.channels import FlushReloadChannel
 from repro.attacks.gadgets import AttackLayout, PAGE, warm_lines
+from repro.api.registry import register_attack
 from repro.attacks.runner import AttackResult
 from repro.core.policy import CommitPolicy
 from repro.isa.assembler import ProgramBuilder
@@ -57,6 +58,7 @@ def build_attacker(layout: AttackLayout) -> Program:
     return b.build()
 
 
+@register_attack("meltdown", branch_free=True)
 def run_meltdown(policy: CommitPolicy, secret: int = 42) -> AttackResult:
     """Run the full Meltdown attack under the given commit policy."""
     if not 0 <= secret <= 255:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.attacks.channels import FlushReloadChannel
 from repro.attacks.gadgets import AttackLayout, warm_lines
+from repro.api.registry import register_attack
 from repro.attacks.runner import AttackResult
 from repro.core.policy import CommitPolicy
 from repro.isa.assembler import ProgramBuilder
@@ -46,6 +47,7 @@ def build_attacker(layout: AttackLayout) -> Program:
     return b.build()
 
 
+@register_attack("meltdown_spectre")
 def run_meltdown_spectre(policy: CommitPolicy,
                          secret: int = 42) -> AttackResult:
     """Run the combined Meltdown+Spectre attack under ``policy``."""

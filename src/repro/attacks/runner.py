@@ -1,19 +1,23 @@
-"""Attack orchestration: results, registry, and the security matrix.
+"""Attack orchestration: results, job plumbing, and the security matrix.
 
-``security_matrix`` regenerates Tables III and IV of the paper: it runs
-every attack under BASELINE, WFB and WFC and reports which policies close
-which attacks.
+The attack catalogue itself lives in the component registry
+(:data:`repro.api.registry.ATTACKS`): each attack module registers its
+entry point with ``@register_attack``, carrying the paper's
+expected-closed metadata.  This module keeps the classic
+:class:`AttackResult` type, the job-spec worker entry point, the matrix
+renderer, and thin legacy wrappers (``security_matrix``,
+``ALL_ATTACKS``) over :class:`~repro.api.session.Session` and the
+registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
+from repro.api import registry as api_registry
 from repro.core.policy import CommitPolicy
-from repro.errors import ConfigError
-from repro.exec.executor import SerialExecutor
-from repro.exec.job import SimJob, SimResult, attack_job, json_clean_details
+from repro.exec.job import SimJob, SimResult, json_clean_details
 
 
 @dataclass
@@ -46,55 +50,20 @@ class AttackResult:
                 f"(secret={self.secret}, recovered={self.leaked})")
 
 
-def _registry() -> Dict[str, Callable[[CommitPolicy, int], AttackResult]]:
-    # Imported lazily to avoid import cycles with the attack modules.
-    from repro.attacks.icache_variant import run_icache_variant
-    from repro.attacks.meltdown import run_meltdown
-    from repro.attacks.meltdown_spectre import run_meltdown_spectre
-    from repro.attacks.spectre_pp import run_spectre_v1_prime_probe
-    from repro.attacks.spectre_v1 import run_spectre_v1
-    from repro.attacks.spectre_v2 import run_spectre_v2
-    from repro.attacks.tlb_variant import run_dtlb_variant, run_itlb_variant
-    from repro.attacks.tsa import run_tsa
-
-    return {
-        "spectre_v1": run_spectre_v1,
-        "spectre_v1_pp": run_spectre_v1_prime_probe,
-        "spectre_v2": run_spectre_v2,
-        "meltdown": run_meltdown,
-        "meltdown_spectre": run_meltdown_spectre,
-        "icache": run_icache_variant,
-        "itlb": run_itlb_variant,
-        "dtlb": run_dtlb_variant,
-        "transient": run_tsa,
-    }
-
-
-ALL_ATTACKS = ("spectre_v1", "spectre_v1_pp", "spectre_v2", "meltdown",
-               "meltdown_spectre", "icache", "itlb", "dtlb", "transient")
-
-# Attacks whose leak needs only a faulting load with no unresolved older
-# branch, so WFB promotes the line before the fault is seen at commit;
-# every other registered attack rides a branch misprediction (paper
-# Table III: closed by WFB and WFC alike).
-_MELTDOWN_ONLY = frozenset({"meltdown"})
-
-
 def expected_closed(attack: str, policy: CommitPolicy) -> bool:
-    """Whether the paper says ``policy`` closes ``attack`` (Table III)."""
-    if attack in _MELTDOWN_ONLY:
-        return policy.stops_meltdown
-    return policy.stops_spectre
+    """Whether the paper says ``policy`` closes ``attack`` (Table III).
+
+    Derived from the attack registry's ``branch_free`` metadata:
+    Meltdown-style branch-free leaks are only closed by WFC, everything
+    else rides a branch misprediction and is closed by WFB and WFC.
+    """
+    return api_registry.expected_closed(attack, policy)
 
 
 def run_attack_by_name(name: str, policy: CommitPolicy,
                        secret: int = 42) -> AttackResult:
     """Run one registered attack by name."""
-    registry = _registry()
-    if name not in registry:
-        raise ConfigError(
-            f"unknown attack {name!r}; choose from {sorted(registry)}")
-    return registry[name](policy, secret)
+    return api_registry.ATTACKS.get(name)(policy, secret)
 
 
 def run_attack_job(job: SimJob) -> SimResult:
@@ -104,7 +73,8 @@ def run_attack_job(job: SimJob) -> SimResult:
     whole run is reconstructed from the job spec; the outcome is folded
     into a serializable :class:`~repro.exec.job.SimResult`.
     """
-    outcome = run_attack_by_name(job.target, job.policy, job.secret)
+    secret = int(job.params.get("secret", 42))
+    outcome = run_attack_by_name(job.target, job.policy, secret)
     return SimResult(
         job_key=job.key(),
         kind=job.kind,
@@ -133,27 +103,18 @@ def security_matrix(attacks: Optional[List[str]] = None,
                     executor=None) -> Dict[str, Dict[str, AttackResult]]:
     """Run every (attack, policy) pair — Tables III and IV.
 
-    The pairs are submitted as one batch through ``executor`` (default: a
-    cacheless :class:`~repro.exec.executor.SerialExecutor`), so callers
-    can fan the matrix out over workers and/or back it with the on-disk
-    result cache.  Returns ``{attack_name: {policy_value: AttackResult}}``.
+    Legacy wrapper over :meth:`repro.api.session.Session.matrix`; pass
+    ``executor`` to reuse an existing executor/cache pair, otherwise the
+    pairs run serially without a cache (the historical default).
+    Returns ``{attack_name: {policy_value: AttackResult}}``.
     """
-    registry = _registry()
-    attacks = list(attacks) if attacks is not None else list(ALL_ATTACKS)
-    policies = policies or [CommitPolicy.BASELINE, CommitPolicy.WFB,
-                            CommitPolicy.WFC]
-    for name in attacks:
-        if name not in registry:
-            raise ConfigError(f"unknown attack {name!r}")
-    executor = executor if executor is not None else SerialExecutor()
-    jobs = [attack_job(name, policy, secret)
-            for name in attacks for policy in policies]
-    results = executor.run(jobs)
-    matrix: Dict[str, Dict[str, AttackResult]] = {name: {}
-                                                  for name in attacks}
-    for job, result in zip(jobs, results):
-        matrix[job.target][job.policy.value] = attack_result_from_sim(result)
-    return matrix
+    from repro.api.session import Session
+
+    if executor is not None:
+        session = Session(executor=executor)
+    else:
+        session = Session(cache=False)
+    return session.matrix(attacks=attacks, policies=policies, secret=secret)
 
 
 def render_matrix(matrix: Dict[str, Dict[str, AttackResult]]) -> str:
@@ -171,3 +132,13 @@ def render_matrix(matrix: Dict[str, Dict[str, AttackResult]]) -> str:
                 cells.append(f"{'closed' if result.closed else 'LEAKED':>9s}")
         lines.append(f"{attack:12s} " + " ".join(cells))
     return "\n".join(lines)
+
+
+def __getattr__(name):
+    # Legacy alias: the hand-maintained tuple is now derived from the
+    # registry (computed on first access so importing this module does
+    # not force-load every attack module).
+    if name == "ALL_ATTACKS":
+        return tuple(api_registry.attack_names())
+    raise AttributeError(
+        f"module 'repro.attacks.runner' has no attribute {name!r}")

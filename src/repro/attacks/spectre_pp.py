@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.attacks.channels import PrimeProbeChannel
 from repro.attacks.gadgets import AttackLayout, warm_lines
+from repro.api.registry import register_attack
 from repro.attacks.runner import AttackResult
 from repro.core.policy import CommitPolicy
 from repro.isa.assembler import ProgramBuilder
@@ -44,6 +45,7 @@ def build_victim(layout: AttackLayout) -> Program:
     return b.build()
 
 
+@register_attack("spectre_v1_pp")
 def run_spectre_v1_prime_probe(policy: CommitPolicy,
                                secret: int = 42) -> AttackResult:
     """Run Spectre v1 with a prime+probe receiver under ``policy``."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.attacks.channels import FlushReloadChannel
 from repro.attacks.gadgets import AttackLayout, warm_lines
+from repro.api.registry import register_attack
 from repro.attacks.runner import AttackResult
 from repro.core.policy import CommitPolicy
 from repro.isa.assembler import ProgramBuilder
@@ -49,6 +50,7 @@ def build_victim(layout: AttackLayout) -> Program:
     return b.build()
 
 
+@register_attack("spectre_v1")
 def run_spectre_v1(policy: CommitPolicy, secret: int = 42) -> AttackResult:
     """Run the full Spectre v1 attack under the given commit policy."""
     if not 0 <= secret <= 255:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.attacks.channels import FlushReloadChannel
 from repro.attacks.gadgets import AttackLayout, warm_lines
+from repro.api.registry import register_attack
 from repro.attacks.runner import AttackResult
 from repro.core.policy import CommitPolicy
 from repro.errors import SimulationError
@@ -91,6 +92,7 @@ def build_poisoner(layout: AttackLayout, victim: Program,
     return program
 
 
+@register_attack("spectre_v2")
 def run_spectre_v2(policy: CommitPolicy, secret: int = 42) -> AttackResult:
     """Run the full Spectre v2 attack under the given commit policy."""
     if not 0 <= secret <= 255:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.attacks.channels import TlbProbeChannel
 from repro.attacks.gadgets import AttackLayout, PAGE, warm_lines
+from repro.api.registry import register_attack
 from repro.attacks.runner import AttackResult
 from repro.core.policy import CommitPolicy
 from repro.isa.assembler import ProgramBuilder
@@ -144,6 +145,7 @@ def _patch_fn_base(victim: Program) -> Program:
                    labels=dict(victim.labels))
 
 
+@register_attack("itlb")
 def run_itlb_variant(policy: CommitPolicy, secret: int = 42) -> AttackResult:
     """Run the iTLB Spectre variant under the given commit policy."""
     secret = secret % _SLOTS
@@ -182,3 +184,8 @@ def run_itlb_variant(policy: CommitPolicy, secret: int = 42) -> AttackResult:
             "victim_cycles": run.cycles,
         },
     )
+
+
+# Registered after the iTLB variant (despite being defined first) so the
+# registry preserves the paper's Table IV row order: itlb, then dtlb.
+register_attack("dtlb")(run_dtlb_variant)

@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.attacks.gadgets import AttackLayout, PAGE, warm_lines
+from repro.api.registry import register_attack
 from repro.attacks.runner import AttackResult
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig, SizingMode
@@ -187,6 +188,7 @@ def _run_tsa_channel(policy: CommitPolicy, secret: int,
     )
 
 
+@register_attack("transient")
 def run_tsa(policy: CommitPolicy, secret: int = 1) -> AttackResult:
     """TSA against the paper's mitigated configuration (SECURE sizing).
 

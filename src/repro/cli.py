@@ -13,10 +13,13 @@ Commands:
 * ``table5`` — the hardware-overhead table.
 * ``asm <file>`` — assemble a text program and print its disassembly.
 
-``matrix``, ``workload`` and ``figures`` submit their simulations
-through :mod:`repro.exec`: ``--jobs N`` fans them out over N worker
-processes, and completed runs are reused from the persistent result
-cache (``--cache-dir``, disable with ``--no-cache``) across invocations.
+Every simulation-batch command (``attack``, ``matrix``, ``workload``,
+``figures``) is a thin client of :class:`repro.api.session.Session`:
+``--jobs N`` fans the batch out over N worker processes, and completed
+runs are reused from the persistent result cache (``--cache-dir``,
+disable with ``--no-cache``) across invocations.  Attack and workload
+name choices derive from the component registries
+(:mod:`repro.api.registry`).
 """
 
 from __future__ import annotations
@@ -24,25 +27,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.analysis.experiment import FIGURE_POLICIES, ExperimentRunner
-from repro.analysis.report import (render_figure_series, render_ipc_figure,
-                                   render_sizing_figure, render_two_series)
-from repro.attacks import ALL_ATTACKS, run_attack_by_name, security_matrix
-from repro.attacks.runner import expected_closed, render_matrix
+from repro.analysis.report import render_figures_text
+from repro.api.registry import attack_names
+from repro.api.scenario import Scenario
+from repro.api.session import MATRIX_POLICIES, Session
+from repro.attacks.runner import (attack_result_from_sim, expected_closed,
+                                  render_matrix)
 from repro.core.policy import CommitPolicy
 from repro.errors import ReproError
-from repro.exec.cache import NullCache, ResultCache
-from repro.exec.executor import make_executor, stderr_progress
-from repro.exec.job import SCHEMA_VERSION, workload_job
+from repro.exec.executor import stderr_progress
+from repro.exec.job import SCHEMA_VERSION
 from repro.hwmodel.overhead import render_table5
 from repro.workloads import suite_names
 
 _POLICIES = {p.value: p for p in CommitPolicy}
-
-_SIZING_FIGURES = [("6", "shadow_icache"), ("7", "shadow_dcache"),
-                   ("8", "shadow_itlb"), ("9", "shadow_dtlb")]
 
 
 def _parse_policy(value: str) -> CommitPolicy:
@@ -53,7 +53,7 @@ def _parse_policy(value: str) -> CommitPolicy:
 
 
 def _add_exec_options(parser: argparse.ArgumentParser) -> None:
-    """Executor/cache flags shared by the simulation-batch commands."""
+    """Session flags shared by the simulation-batch commands."""
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the simulation batch "
                              "(default: 1, serial)")
@@ -72,12 +72,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     attack = sub.add_parser("attack", help="run one attack PoC (or all)")
-    attack.add_argument("name", choices=list(ALL_ATTACKS) + ["all"])
+    attack.add_argument("name", choices=attack_names() + ["all"])
     attack.add_argument("--policy", type=_parse_policy,
                         action="append", default=None,
                         help="baseline / wfb / wfc (repeatable; "
                              "default: all three)")
     attack.add_argument("--secret", type=int, default=42)
+    attack.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    _add_exec_options(attack)
 
     matrix = sub.add_parser("matrix",
                             help="run every attack under every policy "
@@ -115,22 +118,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ---------------------------------------------------------------------------
-# executor wiring
+# session wiring
 # ---------------------------------------------------------------------------
 
-def _make_cache(args: argparse.Namespace):
-    if args.no_cache:
-        return NullCache()
-    return ResultCache(args.cache_dir)
+def _make_session(args: argparse.Namespace,
+                  progress=None) -> Session:
+    """The session the shared exec flags describe."""
+    if progress is None:
+        progress = stderr_progress if args.jobs > 1 else None
+    return Session(jobs=args.jobs, cache=not args.no_cache,
+                   cache_dir=args.cache_dir, progress=progress)
 
 
-def _make_executor(args: argparse.Namespace, cache):
-    progress = stderr_progress if args.jobs > 1 else None
-    return make_executor(workers=args.jobs, cache=cache, progress=progress)
-
-
-def _report_cache(cache) -> None:
-    print(cache.describe(), file=sys.stderr)
+def _report_cache(session: Session) -> None:
+    print(session.describe_cache(), file=sys.stderr)
 
 
 # ---------------------------------------------------------------------------
@@ -138,26 +139,58 @@ def _report_cache(cache) -> None:
 # ---------------------------------------------------------------------------
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    policies = args.policy or [CommitPolicy.BASELINE, CommitPolicy.WFB,
-                               CommitPolicy.WFC]
-    names = list(ALL_ATTACKS) if args.name == "all" else [args.name]
+    policies = args.policy or list(MATRIX_POLICIES)
+    names = attack_names() if args.name == "all" else [args.name]
+    # A serial text run streams each verdict as it completes (the
+    # executor reports in submission order); parallel runs keep the
+    # stderr progress lines and print the ordered verdicts at the end.
+    stream = args.format == "text" and args.jobs == 1
+    if stream:
+        session = _make_session(
+            args, progress=lambda done, total, job, result:
+            print(attack_result_from_sim(result)))
+    else:
+        session = _make_session(args)
+    scenarios = [Scenario.attack(name, policy, secret=args.secret)
+                 for name in names for policy in policies]
+    results = session.run(scenarios)
     failures = 0
-    for name in names:
-        for policy in policies:
-            result = run_attack_by_name(name, policy, args.secret)
+    records = []
+    for scenario, sim in zip(scenarios, results):
+        result = attack_result_from_sim(sim)
+        expected = expected_closed(scenario.target, scenario.policy)
+        # A leak under a policy the paper says closes this attack is a
+        # reproduction failure; baseline leaks (and WFB's expected
+        # Meltdown leak) are the vulnerable behaviour being reproduced.
+        unexpected = result.success and expected
+        failures += unexpected
+        if args.format == "text" and not stream:
             print(result)
-            if result.success and expected_closed(name, policy):
-                # A leak under a policy the paper says closes this
-                # attack is a reproduction failure; baseline leaks (and
-                # WFB's expected Meltdown leak) are the vulnerable
-                # behaviour being reproduced.
-                failures += 1
+        records.append({
+            "attack": scenario.target,
+            "policy": scenario.policy.value,
+            "secret": result.secret,
+            "leaked": result.leaked,
+            "closed": result.closed,
+            "expected_closed": expected,
+            "unexpected_leak": unexpected,
+            "cached": sim.from_cache,
+        })
+    if args.format == "json":
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "results": records,
+            "failures": failures,
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    _report_cache(session)
     return failures
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
-    cache = _make_cache(args)
-    matrix = security_matrix(executor=_make_executor(args, cache))
+    session = _make_session(args)
+    matrix = session.matrix()
     if args.format == "json":
         payload = {
             "schema": SCHEMA_VERSION,
@@ -171,18 +204,17 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         print()
     else:
         print(render_matrix(matrix))
-    _report_cache(cache)
+    _report_cache(session)
     return 0
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
     names = suite_names() if args.name == "suite" else [args.name]
-    cache = _make_cache(args)
-    executor = _make_executor(args, cache)
-    jobs = [workload_job(name, args.policy,
-                         instructions=args.instructions)
-            for name in names]
-    results = executor.run(jobs)
+    session = _make_session(args)
+    results = session.run(
+        [Scenario.workload(name, args.policy,
+                           instructions=args.instructions)
+         for name in names])
     if args.format == "json":
         payload = {
             "schema": SCHEMA_VERSION,
@@ -208,112 +240,30 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             print(f"{run.target:10s} {run.ipc:7.3f} "
                   f"{run.dcache_read_miss_rate:7.3f} "
                   f"{run.icache_miss_rate:7.3f} {run.cycles:9d}")
-    _report_cache(cache)
+    _report_cache(session)
     return 0
-
-
-def _figures_data(runner: ExperimentRunner) -> Dict[str, Dict[str, object]]:
-    """Every figure's series, keyed by figure number.
-
-    The one source both output formats render from, so ``--format json``
-    exports exactly the series the text tables show.
-    """
-    wfc, wfb = CommitPolicy.WFC, CommitPolicy.WFB
-    base = CommitPolicy.BASELINE
-    figures: Dict[str, Dict[str, object]] = {}
-    for figure_id, structure in _SIZING_FIGURES:
-        figures[figure_id] = {
-            "title": f"{structure} size covering 99.99% of cycles",
-            "structure": structure,
-            "series": {"wfc": runner.shadow_sizing(structure, wfc),
-                       "wfb": runner.shadow_sizing(structure, wfb)},
-        }
-    figures["11"] = {
-        "title": "IPC normalized to the insecure baseline",
-        "series": {"wfc": runner.normalized_ipc(wfc)},
-    }
-    figures["12"] = {
-        "title": "d-cache read miss rate",
-        "series": {"wfc": runner.dcache_miss_rates(wfc),
-                   "baseline": runner.dcache_miss_rates(base)},
-    }
-    figures["13"] = {
-        "title": "hits on shadow d-cache",
-        "series": {"wfc": runner.shadow_dcache_hits(wfc)},
-    }
-    figures["14"] = {
-        "title": "i-cache miss rate",
-        "series": {"wfc": runner.icache_miss_rates(wfc),
-                   "baseline": runner.icache_miss_rates(base)},
-    }
-    figures["15"] = {
-        "title": "hits on shadow i-cache",
-        "series": {"wfc": runner.shadow_icache_hits(wfc)},
-    }
-    figures["16"] = {
-        "title": "commit rate of shadow state",
-        "series": {
-            "shadow_icache": runner.shadow_commit_rates("shadow_icache",
-                                                        wfc),
-            "shadow_dcache": runner.shadow_commit_rates("shadow_dcache",
-                                                        wfc)},
-    }
-    return figures
-
-
-def _render_figures_text(figures: Dict[str, Dict[str, object]]) -> str:
-    blocks = []
-    for figure_id, _structure in _SIZING_FIGURES:
-        data = figures[figure_id]
-        blocks.append(render_sizing_figure(
-            figure_id, data["structure"],
-            data["series"]["wfc"], data["series"]["wfb"]))
-    def heading(figure_id: str) -> str:
-        return f"Figure {figure_id}: {figures[figure_id]['title']}"
-
-    blocks.append(render_ipc_figure(figures["11"]["series"]["wfc"]))
-    blocks.append(render_two_series(
-        heading("12"),
-        "WFC", figures["12"]["series"]["wfc"],
-        "baseline", figures["12"]["series"]["baseline"]))
-    blocks.append(render_figure_series(
-        heading("13"), figures["13"]["series"]["wfc"], scale_max=1.0))
-    blocks.append(render_two_series(
-        heading("14"),
-        "WFC", figures["14"]["series"]["wfc"],
-        "baseline", figures["14"]["series"]["baseline"]))
-    blocks.append(render_figure_series(
-        heading("15"), figures["15"]["series"]["wfc"], scale_max=1.0))
-    blocks.append(render_two_series(
-        heading("16"),
-        "i-cache", figures["16"]["series"]["shadow_icache"],
-        "d-cache", figures["16"]["series"]["shadow_dcache"]))
-    return "\n\n".join(blocks)
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else None)
-    cache = _make_cache(args)
-    runner = ExperimentRunner(benchmarks=benchmarks,
-                              instructions=args.instructions,
-                              executor=_make_executor(args, cache))
-    # One batch: a parallel executor sees the whole sweep at once.
-    runner.run_all(FIGURE_POLICIES)
-    figures = _figures_data(runner)
+    session = _make_session(args)
+    figures = session.figures(benchmarks=benchmarks,
+                              instructions=args.instructions)
     if args.format == "json":
         payload = {
             "schema": SCHEMA_VERSION,
             "instructions": args.instructions,
-            "benchmarks": runner.benchmarks,
-            "cache": {"hits": cache.hits, "misses": cache.misses},
+            "benchmarks": benchmarks or suite_names(),
+            "cache": {"hits": session.cache.hits,
+                      "misses": session.cache.misses},
             "figures": figures,
         }
         json.dump(payload, sys.stdout, indent=2)
         print()
     else:
-        print(_render_figures_text(figures))
-    _report_cache(cache)
+        print(render_figures_text(figures))
+    _report_cache(session)
     return 0
 
 

@@ -16,8 +16,11 @@ submits them through an executor:
   rebuild all machine state from the job spec; jobs that must share a
   worker declare a ``serial_group``).
 
-This package is the seam future scaling work (sweeps, sharding, new
-workload families) plugs into.
+This package is the transport layer; the user-facing surface on top of
+it is :mod:`repro.api` (:class:`~repro.api.session.Session` owns an
+executor + cache pair, :class:`~repro.api.scenario.Sweep` expands
+declarative grids into job batches), which is also the seam future
+scaling work (sharding, async backends, result servers) plugs into.
 """
 
 from repro.exec.cache import (NullCache, ResultCache, default_cache_dir)

@@ -20,7 +20,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig
@@ -31,7 +31,8 @@ from repro.statistics import Histogram, ratio
 
 # Bump whenever the result schema or simulator semantics change in a way
 # that invalidates cached results; the cache namespaces entries by it.
-SCHEMA_VERSION = 1
+# v2: the per-kind ``secret`` field became the generic ``params`` dict.
+SCHEMA_VERSION = 2
 
 # Single source of truth for the per-run budget; the workload suite
 # re-exports it (suite imports this module, never the reverse).
@@ -46,17 +47,22 @@ class SimJob:
     """A content-hashable description of one simulation.
 
     ``kind`` is ``"workload"`` (``target`` names a suite benchmark) or
-    ``"attack"`` (``target`` names a registered attack).  ``serial_group``
-    marks jobs that must not fan out to different workers (e.g. runs that
-    rely on machine state persisting between them); it never affects the
-    job hash because it changes *where* the job runs, not its result.
+    ``"attack"`` (``target`` names a registered attack).  ``params``
+    carries kind-specific scenario data (an attack's planted ``secret``,
+    future workload knobs) uniformly for every kind and flows into the
+    job hash.  ``serial_group`` marks jobs that must not fan out to
+    different workers (e.g. runs that rely on machine state persisting
+    between them); it never affects the job hash because it changes
+    *where* the job runs, not its result.
     """
 
     kind: str
     target: str
     policy: CommitPolicy = CommitPolicy.BASELINE
     instructions: int = DEFAULT_INSTRUCTION_BUDGET
-    secret: int = 42
+    # hash=False: the dict value would break the generated __hash__;
+    # equality still compares params, same-hash jobs just may collide.
+    params: Mapping[str, Any] = field(default_factory=dict, hash=False)
     core_config: Optional[CoreConfig] = None
     hierarchy_config: Optional[HierarchyConfig] = None
     safespec_config: Optional[SafeSpecConfig] = None
@@ -69,6 +75,9 @@ class SimJob:
                 f"got {self.kind!r}")
         if self.instructions < 1:
             raise ConfigError("instruction budget must be >= 1")
+        # Own a plain-dict copy so a caller-held mapping can't mutate
+        # the spec after hashing (frozen dataclass setattr workaround).
+        object.__setattr__(self, "params", dict(self.params))
 
     def spec(self) -> Dict[str, Any]:
         """The canonical content of this job (hash input)."""
@@ -78,7 +87,7 @@ class SimJob:
             "target": self.target,
             "policy": self.policy.value,
             "instructions": self.instructions,
-            "secret": self.secret if self.kind == ATTACK else None,
+            "params": _json_clean(self.params),
             "core_config": _config_dict(self.core_config),
             "hierarchy_config": _config_dict(self.hierarchy_config),
             "safespec_config": _config_dict(self.safespec_config),
@@ -270,7 +279,8 @@ def attack_job(name: str, policy: CommitPolicy, secret: int = 42) -> SimJob:
     should construct its :class:`SimJob` with an explicit
     ``serial_group`` to stay on one worker.
     """
-    return SimJob(kind=ATTACK, target=name, policy=policy, secret=secret)
+    return SimJob(kind=ATTACK, target=name, policy=policy,
+                  params={"secret": secret})
 
 
 # ---------------------------------------------------------------------------

@@ -9,12 +9,18 @@ Both are *trainable from any context* (no tagging, no privilege
 separation), deliberately preserving the mistraining surface Spectre
 variant 1 relies on.  SafeSpec "makes no assumptions on the branch
 predictor behavior" (paper Section I) — the attacks are free to mistrain.
+
+Each predictor class registers itself with
+:data:`repro.api.registry.PREDICTORS`;
+:class:`~repro.machine.Machine` dispatches on the registered name, so a
+new predictor is one decorated class here and nothing else.
 """
 
 from __future__ import annotations
 
 from typing import List
 
+from repro.api.registry import register_predictor
 from repro.errors import ConfigError
 from repro.statistics import StatRegistry
 
@@ -22,6 +28,7 @@ _TAKEN_THRESHOLD = 2  # 2-bit counter: 0,1 predict not-taken; 2,3 taken
 _COUNTER_MAX = 3
 
 
+@register_predictor("bimodal")
 class BimodalPredictor:
     """A table of 2-bit saturating counters indexed by PC bits."""
 
@@ -62,6 +69,7 @@ class BimodalPredictor:
         self._counters = [1] * self._entries
 
 
+@register_predictor("gshare")
 class GsharePredictor:
     """Global-history predictor: counters indexed by (history XOR pc)."""
 

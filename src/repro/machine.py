@@ -16,11 +16,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.api.registry import PREDICTORS
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import (FullPolicy, SafeSpecConfig, SafeSpecEngine,
                                  SizingMode)
 from repro.frontend.btb import BranchTargetBuffer
-from repro.frontend.predictors import BimodalPredictor
 from repro.isa.program import Program
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.memory.paging import PagePermissions, PageTable, PrivilegeLevel
@@ -49,18 +49,9 @@ class Machine:
         self.core_config = core_config or CoreConfig()
         self.page_table = page_table or PageTable()
         self.hierarchy = MemoryHierarchy(hierarchy_config, self.page_table)
-        if predictor == "bimodal":
-            self.predictor = BimodalPredictor()
-        elif predictor == "gshare":
-            from repro.frontend.predictors import GsharePredictor
-
-            self.predictor = GsharePredictor()
-        else:
-            from repro.errors import ConfigError
-
-            raise ConfigError(
-                f"unknown predictor {predictor!r}; use 'bimodal' or "
-                f"'gshare' (SafeSpec makes no assumption on the predictor)")
+        # Registry dispatch: the lookup error lists every registered
+        # predictor (SafeSpec makes no assumption on the predictor).
+        self.predictor = PREDICTORS.create(predictor)
         self.btb = BranchTargetBuffer()
         if safespec_config is not None:
             self.policy = safespec_config.policy

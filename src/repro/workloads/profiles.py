@@ -23,8 +23,9 @@ to exercise the same micro-architectural mechanisms across a realistic
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
+from repro.api.registry import WORKLOADS, register_workload
 from repro.errors import ConfigError
 
 
@@ -54,7 +55,9 @@ class WorkloadProfile:
 
 def _p(name: str, ws: int, chase: float, br: float, ent: float,
        code: int, st: float, seed: int) -> WorkloadProfile:
-    return WorkloadProfile(name, ws, chase, br, ent, code, st, seed)
+    """Build one profile and register it with the workload registry."""
+    return register_workload(
+        WorkloadProfile(name, ws, chase, br, ent, code, st, seed))
 
 
 # The paper's Figure 6-16 benchmark list, in the paper's order.
@@ -85,17 +88,15 @@ SUITE_PROFILES: List[WorkloadProfile] = [
     _p("gcc",       ws=192,  chase=0.12, br=0.24, ent=0.30, code=128, st=0.10, seed=122),
 ]
 
-_BY_NAME: Dict[str, WorkloadProfile] = {p.name: p for p in SUITE_PROFILES}
-
-
 def suite_names() -> List[str]:
-    """Benchmark names in the paper's plotting order."""
-    return [profile.name for profile in SUITE_PROFILES]
+    """Benchmark names in the paper's plotting order (registry order)."""
+    return WORKLOADS.names()
 
 
 def profile_by_name(name: str) -> WorkloadProfile:
     """Look up one profile by benchmark name."""
-    if name not in _BY_NAME:
+    profile = WORKLOADS.get(name)
+    if not isinstance(profile, WorkloadProfile):
         raise ConfigError(
-            f"unknown workload {name!r}; choose from {suite_names()}")
-    return _BY_NAME[name]
+            f"workload {name!r} is not a suite profile: {profile!r}")
+    return profile

@@ -25,6 +25,13 @@ class TestParser:
             build_parser().parse_args(
                 ["attack", "spectre_v1", "--policy", "strict"])
 
+    def test_attack_has_exec_flags(self):
+        args = build_parser().parse_args(
+            ["attack", "all", "--jobs", "3", "--no-cache",
+             "--format", "json"])
+        assert args.jobs == 3 and args.no_cache
+        assert args.format == "json"
+
 
 class TestCommands:
     def test_table5(self, capsys):

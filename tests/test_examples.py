@@ -72,6 +72,15 @@ class TestWorkloadStudy:
         assert "Figure 11" in out and "Figure 7" in out
 
 
+class TestSweepAblation:
+    def test_prints_full_grid(self, capsys):
+        load_example("sweep_ablation").main()
+        out = capsys.readouterr().out
+        # 2 benchmarks x 2 policies x 3 ROB variants
+        assert out.count("IPC=") == 12
+        assert "rob224" in out and "wfc" in out
+
+
 @pytest.mark.slow
 class TestSecurityMatrixExample:
     def test_matrix_prints(self, capsys):

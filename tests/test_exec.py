@@ -49,9 +49,15 @@ class TestJobHashing:
     def test_serial_group_does_not_change_key(self):
         grouped = SimJob(kind="attack", target="spectre_v1",
                          policy=CommitPolicy.WFC,
+                         params={"secret": 42},
                          serial_group="attack:spectre_v1")
         ungrouped = attack_job("spectre_v1", CommitPolicy.WFC)
         assert grouped.key() == ungrouped.key()
+
+    def test_params_change_key(self):
+        base = attack_job("spectre_v1", CommitPolicy.WFC, secret=42)
+        assert base.key() != attack_job("spectre_v1", CommitPolicy.WFC,
+                                        secret=7).key()
 
     def test_bad_kind_rejected(self):
         with pytest.raises(ConfigError):
@@ -269,8 +275,12 @@ class TestAttackExitCode:
             return AttackResult(attack=name, policy=policy, secret=secret,
                                 leaked=secret)
 
-        monkeypatch.setattr("repro.cli.run_attack_by_name", leaky)
+        # The attack command now routes through Session -> executor ->
+        # run_attack_job, whose seam is the by-name runner; --no-cache
+        # keeps earlier (real) results from masking the stub.
+        monkeypatch.setattr("repro.attacks.runner.run_attack_by_name",
+                            leaky)
         # Leaks under wfb and wfc are failures; the baseline leak is the
         # expected vulnerable behaviour and does not count.
-        assert main(["attack", "spectre_v1"]) == 2
+        assert main(["attack", "spectre_v1", "--no-cache"]) == 2
         assert capsys.readouterr().out.count("LEAKED") == 3
