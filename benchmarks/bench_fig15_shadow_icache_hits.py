@@ -9,7 +9,6 @@ shadow hits appear wherever speculative code sweeps new lines
 (code-footprint-heavy benchmarks).
 """
 
-from repro.analysis.experiment import AVERAGE
 from repro.analysis.report import render_figure_series
 from repro.core.policy import CommitPolicy
 

@@ -10,7 +10,7 @@ invisible to them by construction — which is the point of SafeSpec.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 from repro.machine import Machine
 

@@ -1,0 +1,144 @@
+"""Baseline comparison: flag benches that got slower than allowed.
+
+The committed ``benchmarks/baseline.json`` is a full harness payload.
+Comparison uses each bench's ``normalized_score`` (cycles/sec divided by
+the host calibration spin) so a faster or slower CI machine moves the
+numerator and denominator together; raw ``cycles_per_sec`` is the
+fallback when either payload predates calibration.
+
+A bench regresses when ``current/baseline < 1 - threshold``; the default
+threshold (10%) is the CI gate.  Benches present on only one side are
+reported but never fail the gate — adding a bench must not break CI.
+
+The determinism fields are cross-checked before any score is trusted:
+
+* a changed ``job_key`` means the baseline describes a *different*
+  simulation (a spec or schema change) — the bench is marked stale,
+  excluded from score gating, and reported so the baseline gets
+  refreshed;
+* a changed simulated ``cycles`` count under an *unchanged* job key
+  means simulator semantics drifted without a schema bump — that is a
+  correctness failure and fails the gate regardless of speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass
+class BenchDelta:
+    """One bench's current-vs-baseline comparison."""
+
+    name: str
+    metric: str
+    baseline: float
+    current: float
+    ratio: float                      # current / baseline (higher = faster)
+    regression: bool
+    stale: bool = False               # baseline is for a different job
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        if self.stale:
+            verdict = "STALE BASELINE"
+        elif self.regression:
+            verdict = "REGRESSION"
+        else:
+            verdict = "ok"
+        line = (f"{self.name:28s} {self.baseline:12.1f} -> "
+                f"{self.current:12.1f}  ({self.ratio:5.2f}x)  {verdict}")
+        for note in self.notes:
+            line += f"\n    note: {note}"
+        return line
+
+
+@dataclass
+class ComparisonReport:
+    """The comparator's verdict over a whole payload."""
+
+    metric: str
+    threshold: float
+    deltas: List[BenchDelta] = field(default_factory=list)
+    only_in_baseline: List[str] = field(default_factory=list)
+    only_in_current: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [f"bench comparison ({self.metric}, "
+                 f"threshold {self.threshold:.0%})"]
+        lines.extend(delta.render() for delta in self.deltas)
+        if self.only_in_baseline:
+            lines.append("only in baseline (not run): "
+                         + ", ".join(self.only_in_baseline))
+        if self.only_in_current:
+            lines.append("only in current (no baseline): "
+                         + ", ".join(self.only_in_current))
+        lines.append(
+            f"verdict: {'PASS' if self.passed else 'FAIL'} "
+            f"({len(self.regressions)} regression(s) / "
+            f"{len(self.deltas)} compared)")
+        return "\n".join(lines)
+
+
+def _pick_metric(current: Dict[str, Any], baseline: Dict[str, Any]) -> str:
+    def has_normalized(payload: Dict[str, Any]) -> bool:
+        rows = payload.get("results", [])
+        return bool(rows) and all("normalized_score" in row for row in rows)
+
+    if has_normalized(current) and has_normalized(baseline):
+        return "normalized_score"
+    return "cycles_per_sec"
+
+
+def compare_payloads(current: Dict[str, Any], baseline: Dict[str, Any],
+                     threshold: float = DEFAULT_THRESHOLD
+                     ) -> ComparisonReport:
+    """Compare two harness payloads; see module docstring for rules."""
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    metric = _pick_metric(current, baseline)
+    current_rows = {row["name"]: row for row in current.get("results", [])}
+    baseline_rows = {row["name"]: row for row in baseline.get("results", [])}
+    report = ComparisonReport(metric=metric, threshold=threshold)
+    report.only_in_baseline = sorted(set(baseline_rows) - set(current_rows))
+    report.only_in_current = sorted(set(current_rows) - set(baseline_rows))
+    for name in (n for n in current_rows if n in baseline_rows):
+        cur, base = current_rows[name], baseline_rows[name]
+        cur_score = float(cur[metric])
+        base_score = float(base[metric])
+        ratio = cur_score / base_score if base_score else float("inf")
+        delta = BenchDelta(
+            name=name, metric=metric,
+            baseline=base_score, current=cur_score, ratio=ratio,
+            regression=ratio < 1.0 - threshold)
+        if cur.get("job_key") != base.get("job_key"):
+            # Different simulation: the score comparison is meaningless,
+            # so it neither passes nor fails on speed.
+            delta.stale = True
+            delta.regression = False
+            delta.notes.append(
+                "job key changed — baseline describes a different "
+                "simulation; refresh it (repro bench --update-baseline)")
+        elif cur.get("cycles") != base.get("cycles"):
+            # Same spec, different simulated result: semantics drifted
+            # without a schema bump — a correctness failure, not a
+            # performance question.
+            delta.regression = True
+            delta.notes.append(
+                "simulated cycle count changed under an unchanged job "
+                "key — simulator semantics drifted; bump SCHEMA_VERSION "
+                "or fix the change, then refresh the baseline")
+        report.deltas.append(delta)
+    report.deltas.sort(key=lambda d: d.ratio)
+    return report

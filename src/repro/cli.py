@@ -10,6 +10,9 @@ Commands:
 * ``figures [--benchmarks a,b,...] [--instructions N]`` — regenerate the
   performance figures (6-9, 11-16) as text tables or machine-readable
   JSON (``--format json``).
+* ``bench [--quick]`` — time the simulator (``repro.bench``), emit a
+  schema-versioned ``BENCH_<rev>.json`` and gate against the committed
+  ``benchmarks/baseline.json`` (exit 1 on a >10% slowdown).
 * ``table5`` — the hardware-overhead table.
 * ``asm <file>`` — assemble a text program and print its disassembly.
 
@@ -108,6 +111,32 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--format", choices=["text", "json"],
                          default="text")
     _add_exec_options(figures)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the simulator and gate against benchmarks/baseline.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="the small CI spec set (matches the committed "
+                            "baseline)")
+    bench.add_argument("--warmup", type=int, default=1, metavar="N")
+    bench.add_argument("--repeats", type=int, default=3, metavar="N")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="payload path (default: BENCH_<rev>.json)")
+    bench.add_argument("--baseline", default="benchmarks/baseline.json",
+                       metavar="PATH",
+                       help="baseline payload to gate against")
+    bench.add_argument("--no-compare", action="store_true",
+                       help="emit the payload without gating")
+    bench.add_argument("--threshold", type=float, default=0.10,
+                       metavar="FRACTION",
+                       help="slowdown fraction that fails the gate "
+                            "(default: 0.10)")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="also write the payload over --baseline")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="do not read/write the on-disk result cache "
+                            "for accounting")
+    bench.add_argument("--cache-dir", default=None, metavar="DIR")
 
     sub.add_parser("table5", help="hardware overhead table (Table V)")
 
@@ -267,6 +296,46 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench import (BenchHarness, FULL_SPECS, QUICK_SPECS,
+                             compare_payloads)
+    from repro.bench.harness import dump_payload, load_payload
+    from repro.exec.cache import NullCache, ResultCache
+
+    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    harness = BenchHarness(warmup=args.warmup, repeats=args.repeats,
+                           cache=cache)
+    specs = QUICK_SPECS if args.quick else FULL_SPECS
+
+    def progress(done, total, spec, row):
+        print(f"[{done}/{total}] {spec.name}: "
+              f"{row['cycles_per_sec']:,.0f} cycles/s "
+              f"(best of {args.repeats})", file=sys.stderr, flush=True)
+
+    payload = harness.run(specs, progress=progress)
+    output = args.output or f"BENCH_{payload['rev']}.json"
+    dump_payload(payload, output)
+    print(f"wrote {output} "
+          f"(calibration {payload['calibration']['kloops_per_sec']:,.0f} "
+          f"kloops/s)", file=sys.stderr)
+    if args.update_baseline:
+        dump_payload(payload, args.baseline)
+        print(f"updated baseline {args.baseline}", file=sys.stderr)
+        return 0
+    if args.no_compare:
+        return 0
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; skipping the gate "
+              f"(write one with --update-baseline)", file=sys.stderr)
+        return 0
+    report = compare_payloads(payload, load_payload(args.baseline),
+                              threshold=args.threshold)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def _cmd_table5(_args: argparse.Namespace) -> int:
     print(render_table5())
     return 0
@@ -290,6 +359,7 @@ _COMMANDS = {
     "matrix": _cmd_matrix,
     "workload": _cmd_workload,
     "figures": _cmd_figures,
+    "bench": _cmd_bench,
     "table5": _cmd_table5,
     "asm": _cmd_asm,
 }

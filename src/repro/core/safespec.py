@@ -87,6 +87,8 @@ class SafeSpecConfig:
 class ShadowFillSink:
     """A :class:`~repro.memory.hierarchy.FillSink` bound to one micro-op."""
 
+    __slots__ = ("_engine", "_uop")
+
     speculative = True
 
     def __init__(self, engine: "SafeSpecEngine", uop: "DynUop") -> None:
@@ -131,6 +133,8 @@ class SafeSpecEngine:
             "shadow_itlb", sizes["shadow_itlb"], full)
         self.shadow_dtlb = ShadowStructure(
             "shadow_dtlb", sizes["shadow_dtlb"], full)
+        self._structures = (self.shadow_dcache, self.shadow_icache,
+                            self.shadow_itlb, self.shadow_dtlb)
         # owner seq -> entries, so commit/squash are O(owner's entries)
         self._entries_by_owner: Dict[int, List[_OwnedEntry]] = {}
         self._now = 0
@@ -165,8 +169,7 @@ class SafeSpecEngine:
         return self.shadow_itlb if side == "i" else self.shadow_dtlb
 
     def all_structures(self) -> List[ShadowStructure]:
-        return [self.shadow_dcache, self.shadow_icache,
-                self.shadow_itlb, self.shadow_dtlb]
+        return list(self._structures)
 
     # -- pipeline interface -------------------------------------------------
 
@@ -260,7 +263,7 @@ class SafeSpecEngine:
     # -- sampling -----------------------------------------------------------
 
     def sample_occupancy(self) -> None:
-        for structure in self.all_structures():
+        for structure in self._structures:
             structure.sample_occupancy()
 
 

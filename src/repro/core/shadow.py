@@ -56,6 +56,11 @@ class ShadowStructure:
     owner's entries only.
     """
 
+    __slots__ = ("name", "capacity", "full_policy", "stats", "_lookups",
+                 "_hits", "_fills", "_drops", "_blocks", "_committed",
+                 "_annulled", "_occupancy_hist", "_occ_value", "_occ_run",
+                 "_by_key", "_count", "_is_drop")
+
     def __init__(self, name: str, capacity: int,
                  full_policy: FullPolicy = FullPolicy.DROP) -> None:
         if capacity < 1:
@@ -63,6 +68,7 @@ class ShadowStructure:
         self.name = name
         self.capacity = capacity
         self.full_policy = full_policy
+        self._is_drop = full_policy is FullPolicy.DROP
         self.stats = StatRegistry(name)
         self._lookups = self.stats.counter("lookups")
         self._hits = self.stats.counter("hits")
@@ -71,11 +77,25 @@ class ShadowStructure:
         self._blocks = self.stats.counter("blocks")
         self._committed = self.stats.counter("committed_entries")
         self._annulled = self.stats.counter("annulled_entries")
-        self.occupancy_histogram = self.stats.histogram("occupancy")
+        self._occupancy_hist = self.stats.histogram("occupancy")
+        # Run-length sampling state: per-cycle samples at an unchanged
+        # occupancy accumulate in a counter and are folded into the
+        # histogram in bulk (the histogram is identical, the per-cycle
+        # cost drops to one comparison).
+        self._occ_value = 0
+        self._occ_run = 0
         # key -> list of entries (multiple owners may fetch the same key
         # on diverging paths before one of them is squashed)
         self._by_key: Dict[int, List[ShadowEntry]] = {}
         self._count = 0
+
+    @property
+    def occupancy_histogram(self):
+        """The occupancy histogram with all pending samples folded in."""
+        if self._occ_run:
+            self._occupancy_hist.record(self._occ_value, self._occ_run)
+            self._occ_run = 0
+        return self._occupancy_hist
 
     # -- capacity -----------------------------------------------------------
 
@@ -93,11 +113,11 @@ class ShadowStructure:
 
     def lookup(self, key: int) -> Optional[ShadowEntry]:
         """Associative lookup by key; newest entry wins."""
-        self._lookups.increment()
+        self._lookups.value += 1
         entries = self._by_key.get(key)
         if not entries:
             return None
-        self._hits.increment()
+        self._hits.value += 1
         return entries[-1]
 
     def fill(self, key: int, owner_seq: int, payload: object,
@@ -111,15 +131,15 @@ class ShadowStructure:
         counted as a block event.
         """
         if self._count >= self.capacity:
-            if self.full_policy is FullPolicy.DROP:
-                self._drops.increment()
+            if self._is_drop:
+                self._drops.value += 1
             else:
-                self._blocks.increment()
+                self._blocks.value += 1
             return None
         entry = ShadowEntry(key, owner_seq, payload, cycle)
         self._by_key.setdefault(key, []).append(entry)
         self._count += 1
-        self._fills.increment()
+        self._fills.value += 1
         return entry
 
     # -- commit / annul ------------------------------------------------------
@@ -139,19 +159,25 @@ class ShadowStructure:
     def release_committed(self, entry: ShadowEntry) -> None:
         """Remove an entry whose state moved to the committed structures."""
         self._remove(entry)
-        self._committed.increment()
+        self._committed.value += 1
 
     def annul(self, entry: ShadowEntry) -> None:
         """Remove an entry whose owner was squashed (leaves no trace)."""
         self._remove(entry)
-        self._annulled.increment()
+        self._annulled.value += 1
 
     # -- introspection ---------------------------------------------------------
 
     def sample_occupancy(self) -> None:
         """Record the current occupancy (per-cycle sizing histograms,
         Figures 6-9 of the paper)."""
-        self.occupancy_histogram.record(self._count)
+        if self._count == self._occ_value:
+            self._occ_run += 1
+        else:
+            if self._occ_run:
+                self._occupancy_hist.record(self._occ_value, self._occ_run)
+            self._occ_value = self._count
+            self._occ_run = 1
 
     def keys(self) -> Iterable[int]:
         return self._by_key.keys()

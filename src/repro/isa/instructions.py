@@ -9,7 +9,7 @@ instructions share one i-cache line, mirroring typical x86 densities.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import AssemblyError
@@ -82,6 +82,14 @@ _OPCODE_CLASS = {
     Opcode.HALT: InstructionClass.SYSTEM,
 }
 
+# Dense functional-unit indices: the issue stage claims slots from plain
+# lists instead of enum-keyed dicts (enum hashing dominated the per-cycle
+# profile).  Declaration order of InstructionClass is the index order.
+FU_CLASS_ORDER = tuple(InstructionClass)
+FU_CLASS_INDEX = {cls: index for index, cls in enumerate(FU_CLASS_ORDER)}
+
+_CONTROL_FLOW = frozenset((Opcode.BRANCH, Opcode.JMP, Opcode.JMPI))
+
 
 @dataclass(frozen=True)
 class Instruction:
@@ -112,6 +120,27 @@ class Instruction:
 
     def __post_init__(self) -> None:
         self._validate()
+        # Decode once at assembly time: every attribute the pipeline reads
+        # per cycle is materialised here instead of recomputed per access.
+        # (object.__setattr__: the dataclass is frozen; these are cached
+        # decode products, not spec fields, so eq/hash/repr ignore them.)
+        if self.opcode is Opcode.ALU and self.alu_op is AluOp.MUL:
+            inst_class = InstructionClass.MUL
+        else:
+            inst_class = _OPCODE_CLASS[self.opcode]
+        sources = []
+        if self.rs1 is not None:
+            sources.append(self.rs1)
+        if self.rs2 is not None:
+            sources.append(self.rs2)
+        set_attr = object.__setattr__
+        set_attr(self, "inst_class", inst_class)
+        set_attr(self, "fu_index", FU_CLASS_INDEX[inst_class])
+        set_attr(self, "is_control_flow", self.opcode in _CONTROL_FLOW)
+        set_attr(self, "is_conditional", self.opcode is Opcode.BRANCH)
+        set_attr(self, "is_indirect", self.opcode is Opcode.JMPI)
+        set_attr(self, "writes_register", self.rd is not None)
+        set_attr(self, "sources", tuple(sources))
 
     def _validate(self) -> None:
         op = self.opcode
@@ -140,36 +169,9 @@ class Instruction:
             if self.rd is None:
                 raise AssemblyError("RDTSC needs rd")
 
-    @property
-    def inst_class(self) -> InstructionClass:
-        if self.opcode == Opcode.ALU and self.alu_op == AluOp.MUL:
-            return InstructionClass.MUL
-        return _OPCODE_CLASS[self.opcode]
-
-    @property
-    def is_control_flow(self) -> bool:
-        return self.opcode in (Opcode.BRANCH, Opcode.JMP, Opcode.JMPI)
-
-    @property
-    def is_conditional(self) -> bool:
-        return self.opcode == Opcode.BRANCH
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.opcode == Opcode.JMPI
-
-    @property
-    def writes_register(self) -> bool:
-        return self.rd is not None
-
     def source_registers(self) -> tuple:
         """Architectural registers read by this instruction."""
-        sources = []
-        if self.rs1 is not None:
-            sources.append(self.rs1)
-        if self.rs2 is not None:
-            sources.append(self.rs2)
-        return tuple(sources)
+        return self.sources
 
     def __str__(self) -> str:
         op = self.opcode.value

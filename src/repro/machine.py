@@ -18,8 +18,7 @@ from typing import Dict, Optional
 
 from repro.api.registry import PREDICTORS
 from repro.core.policy import CommitPolicy
-from repro.core.safespec import (FullPolicy, SafeSpecConfig, SafeSpecEngine,
-                                 SizingMode)
+from repro.core.safespec import SafeSpecConfig, SafeSpecEngine
 from repro.frontend.btb import BranchTargetBuffer
 from repro.isa.program import Program
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy

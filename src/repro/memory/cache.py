@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.statistics import StatRegistry
@@ -75,6 +75,10 @@ class Cache:
     responsible for translation.  All methods operate on line granularity.
     """
 
+    __slots__ = ("config", "stats", "_hits", "_misses", "_fills",
+                 "_evictions", "_flushes", "_sets", "_line_mask",
+                 "_set_shift", "_set_mask", "_associativity")
+
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.stats = StatRegistry(config.name)
@@ -83,6 +87,12 @@ class Cache:
         self._fills = self.stats.counter("fills")
         self._evictions = self.stats.counter("evictions")
         self._flushes = self.stats.counter("flushes")
+        # Precomputed indexing: line size and set count are powers of two
+        # (enforced by CacheConfig), so line/set extraction is mask+shift.
+        self._line_mask = ~(config.line_bytes - 1)
+        self._set_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        self._associativity = config.associativity
         # One OrderedDict per set: line_addr -> True, LRU order = insertion
         # order with move_to_end on touch.
         self._sets: List["OrderedDict[int, bool]"] = [
@@ -93,12 +103,11 @@ class Cache:
 
     def line_address(self, addr: int) -> int:
         """Address of the line containing ``addr``."""
-        return addr & ~(self.config.line_bytes - 1)
+        return addr & self._line_mask
 
     def set_index(self, addr: int) -> int:
         """Set index selected by ``addr``."""
-        line = addr // self.config.line_bytes
-        return line % self.config.num_sets
+        return (addr >> self._set_shift) & self._set_mask
 
     # -- timing-path operations ------------------------------------------
 
@@ -109,13 +118,13 @@ class Cache:
         counts into hit/miss statistics.  It does *not* fill on miss — the
         hierarchy (or SafeSpec) decides where fills go.
         """
-        line = self.line_address(addr)
-        cache_set = self._sets[self.set_index(addr)]
+        line = addr & self._line_mask
+        cache_set = self._sets[(addr >> self._set_shift) & self._set_mask]
         if line in cache_set:
             cache_set.move_to_end(line)
-            self._hits.increment()
+            self._hits.value += 1
             return True
-        self._misses.increment()
+        self._misses.value += 1
         return False
 
     def fill(self, addr: int) -> Optional[int]:
@@ -125,16 +134,16 @@ class Cache:
         ``None``.  Filling a line that is already present just refreshes
         its LRU position.
         """
-        line = self.line_address(addr)
-        cache_set = self._sets[self.set_index(addr)]
+        line = addr & self._line_mask
+        cache_set = self._sets[(addr >> self._set_shift) & self._set_mask]
         if line in cache_set:
             cache_set.move_to_end(line)
             return None
-        self._fills.increment()
+        self._fills.value += 1
         victim: Optional[int] = None
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._associativity:
             victim, _ = cache_set.popitem(last=False)
-            self._evictions.increment()
+            self._evictions.value += 1
         cache_set[line] = True
         return victim
 
@@ -142,8 +151,8 @@ class Cache:
 
     def contains(self, addr: int) -> bool:
         """Whether the line holding ``addr`` is present (no LRU update)."""
-        line = self.line_address(addr)
-        return line in self._sets[self.set_index(addr)]
+        return (addr & self._line_mask) in \
+            self._sets[(addr >> self._set_shift) & self._set_mask]
 
     def probe_set(self, addr: int) -> Tuple[int, ...]:
         """Resident line addresses of the set selected by ``addr``

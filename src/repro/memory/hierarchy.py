@@ -21,7 +21,7 @@ protecting these structures as well".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Tuple
+from typing import List, Optional, Protocol
 
 from repro.errors import ConfigError
 from repro.memory.cache import Cache, CacheConfig
@@ -84,7 +84,7 @@ class DirectFillSink:
         self._hierarchy.install_translation(side, translation)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one hierarchy access (timing + translation + fault)."""
 

@@ -39,6 +39,9 @@ class TLBConfig:
 class TLB:
     """A fully associative, LRU-replaced translation cache."""
 
+    __slots__ = ("config", "stats", "_hits", "_misses", "_fills",
+                 "_evictions", "_entries", "_capacity")
+
     def __init__(self, config: TLBConfig) -> None:
         self.config = config
         self.stats = StatRegistry(config.name)
@@ -47,15 +50,16 @@ class TLB:
         self._fills = self.stats.counter("fills")
         self._evictions = self.stats.counter("evictions")
         self._entries: "OrderedDict[int, Translation]" = OrderedDict()
+        self._capacity = config.entries
 
     def lookup(self, vpn: int) -> Optional[Translation]:
         """Timing-path lookup: updates LRU and hit/miss statistics."""
         entry = self._entries.get(vpn)
         if entry is not None:
             self._entries.move_to_end(vpn)
-            self._hits.increment()
+            self._hits.value += 1
             return entry
-        self._misses.increment()
+        self._misses.value += 1
         return None
 
     def fill(self, translation: Translation) -> Optional[int]:
@@ -65,11 +69,11 @@ class TLB:
             self._entries[vpn] = translation
             self._entries.move_to_end(vpn)
             return None
-        self._fills.increment()
+        self._fills.value += 1
         victim: Optional[int] = None
-        if len(self._entries) >= self.config.entries:
+        if len(self._entries) >= self._capacity:
             victim, _ = self._entries.popitem(last=False)
-            self._evictions.increment()
+            self._evictions.value += 1
         self._entries[vpn] = translation
         return victim
 

@@ -23,11 +23,12 @@ SafeSpec shadow structures (WFB/WFC), with promotion timing per policy.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.core.policy import CommitPolicy
-from repro.core.safespec import SafeSpecConfig, SafeSpecEngine
+from repro.core.safespec import SafeSpecEngine
 from repro.errors import SimulationError
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.predictors import BimodalPredictor
@@ -121,8 +122,19 @@ class Core:
                                   self.config.stq_entries)
         self.fus = FunctionalUnits(self.config)
 
+        # Per-cycle configuration scalars, hoisted out of the hot loop.
+        cfg = self.config
+        self._commit_width = cfg.commit_width
+        self._issue_width = cfg.issue_width
+        self._fetch_width = cfg.fetch_width
+        self._front_end_depth = cfg.front_end_depth
+        self._mispredict_penalty = cfg.mispredict_penalty
+        self._alu_latency = cfg.alu_latency
+        self._mul_latency = cfg.mul_latency
+        self._store_forward_latency = cfg.store_forward_latency
+
         self._rename: Dict[int, DynUop] = {}
-        self._fetch_buffer: List[DynUop] = []
+        self._fetch_buffer: Deque[DynUop] = deque()
         self._executing: List[DynUop] = []
         self._unresolved_branches: List[int] = []   # seqs, program order
         self._inflight_fences = 0
@@ -139,21 +151,16 @@ class Core:
         self._committed = 0
         self._max_instructions: Optional[int] = None
 
+        # Hot-path statistics are plain integer attributes, batched into
+        # the registry's counters once at the end of :meth:`run` — one
+        # ``+= 1`` on the critical path instead of a bound-method call.
+        # _STAT_FIELDS is the single (counter name, attribute) table
+        # driving both registration (which fixes the historical key
+        # order of the ``counters`` dict) and the end-of-run flush.
         self.stats = StatRegistry("core")
-        self._c_committed = self.stats.counter("committed")
-        self._c_squashed = self.stats.counter("squashed")
-        self._c_branches = self.stats.counter("branches")
-        self._c_mispredicts = self.stats.counter("mispredicts")
-        self._c_faults = self.stats.counter("faults")
-        self._c_d_access = self.stats.counter("dcache_read_accesses")
-        self._c_d_miss = self.stats.counter("dcache_read_misses")
-        self._c_d_l1_hits = self.stats.counter("dcache_l1_hits")
-        self._c_d_shadow_hits = self.stats.counter("dcache_shadow_hits")
-        self._c_i_access = self.stats.counter("icache_accesses")
-        self._c_i_miss = self.stats.counter("icache_misses")
-        self._c_i_l1_hits = self.stats.counter("icache_l1_hits")
-        self._c_i_shadow_hits = self.stats.counter("icache_shadow_hits")
-        self._c_forwards = self.stats.counter("store_forwards")
+        for name, attr in self._STAT_FIELDS:
+            self.stats.counter(name)
+            setattr(self, attr, 0)
 
     # ------------------------------------------------------------------
     # public interface
@@ -162,23 +169,31 @@ class Core:
     def run(self, max_instructions: Optional[int] = None) -> RunResult:
         """Execute until HALT, a fault without handler, or the budget."""
         self._max_instructions = max_instructions
+        # Loop-invariant bindings: every structure consulted per cycle is
+        # mutated in place (never rebound), so one lookup each suffices.
+        step = self._step
+        rob_entries = self.rob._entries
+        fetch_buffer = self._fetch_buffer
+        program_fetch = self.program.fetch
+        max_cycles = self.config.max_cycles
         while not self._halted_reason:
-            self._step()
-            if (self.rob.empty and not self._fetch_buffer
+            step()
+            if (not rob_entries and not fetch_buffer
                     and not self._executing
                     and self.cycle >= self._fetch_stall_until
-                    and self.program.fetch(self._fetch_pc) is None):
+                    and program_fetch(self._fetch_pc) is None):
                 # Control flow left the code image with nothing in flight;
                 # a real CPU would take a fetch fault here.
                 self._halted_reason = "ran_off_code"
-            if self.cycle >= self.config.max_cycles:
+            if self.cycle >= max_cycles:
                 raise SimulationError(
-                    f"exceeded max_cycles={self.config.max_cycles}")
+                    f"exceeded max_cycles={max_cycles}")
             if (self.cycle - self._last_commit_cycle > _PROGRESS_GUARD_CYCLES
-                    and not self.rob.empty):
+                    and rob_entries):
                 raise SimulationError(
                     f"no commit for {_PROGRESS_GUARD_CYCLES} cycles "
                     f"(head={self.rob.head()!r})")
+        self._flush_stats()
         counters = self.stats.as_dict()
         counters["cycles"] = self.cycle
         return RunResult(
@@ -190,23 +205,57 @@ class Core:
             counters=counters,
         )
 
+    # (registry counter name, batched int attribute) — registration
+    # order is the historical ``counters`` dict key order.
+    _STAT_FIELDS = (
+        ("committed", "_n_committed"),
+        ("squashed", "_n_squashed"),
+        ("branches", "_n_branches"),
+        ("mispredicts", "_n_mispredicts"),
+        ("faults", "_n_faults"),
+        ("dcache_read_accesses", "_n_d_access"),
+        ("dcache_read_misses", "_n_d_miss"),
+        ("dcache_l1_hits", "_n_d_l1_hits"),
+        ("dcache_shadow_hits", "_n_d_shadow_hits"),
+        ("icache_accesses", "_n_i_access"),
+        ("icache_misses", "_n_i_miss"),
+        ("icache_l1_hits", "_n_i_l1_hits"),
+        ("icache_shadow_hits", "_n_i_shadow_hits"),
+        ("store_forwards", "_n_forwards"),
+    )
+
+    def _flush_stats(self) -> None:
+        """Fold the batched integer statistics into the registry."""
+        counter = self.stats.counter
+        for name, attr in self._STAT_FIELDS:
+            counter(name).value = getattr(self, attr)
+
     # ------------------------------------------------------------------
     # the cycle
     # ------------------------------------------------------------------
 
     def _step(self) -> None:
-        if self.engine:
-            self.engine.set_cycle(self.cycle)
+        # Each stage's idle early-out is checked here, before the call:
+        # on a stall cycle (waiting on memory) most stages have nothing
+        # to do and the call overhead itself was the dominant cost.
+        engine = self.engine
+        if engine is not None:
+            engine.set_cycle(self.cycle)
         self.fus.new_cycle()
-        self._commit_stage()
-        if self._halted_reason:
-            return
-        self._writeback_stage()
-        self._issue_stage()
-        self._dispatch_stage()
-        self._fetch_stage()
-        if self.engine:
-            self.engine.sample_occupancy()
+        if self.rob._entries:
+            self._commit_stage()
+            if self._halted_reason:
+                return
+        if self._executing:
+            self._writeback_stage()
+        if self.iq._ready:
+            self._issue_stage()
+        if self._fetch_buffer:
+            self._dispatch_stage()
+        if not self._fetch_halted and self.cycle >= self._fetch_stall_until:
+            self._fetch_stage()
+        if engine is not None:
+            engine.sample_occupancy()
         self.cycle += 1
 
     # ------------------------------------------------------------------
@@ -214,11 +263,15 @@ class Core:
     # ------------------------------------------------------------------
 
     def _commit_stage(self) -> None:
-        for _ in range(self.config.commit_width):
-            head = self.rob.head()
-            if head is None:
+        entries = self.rob._entries
+        if not entries:
+            return
+        cycle = self.cycle
+        for _ in range(self._commit_width):
+            if not entries:
                 break
-            if head.state is not UopState.DONE or head.done_cycle >= self.cycle:
+            head = entries[0]
+            if head.state is not UopState.DONE or head.done_cycle >= cycle:
                 break
             if head.fault is not None:
                 self._raise_fault(head)
@@ -248,7 +301,7 @@ class Core:
             self.engine.on_commit(uop)
         self.lsq.remove(uop)
         self._committed += 1
-        self._c_committed.increment()
+        self._n_committed += 1
         if uop.opcode is Opcode.HALT:
             self._halt("halt")
         elif (self._max_instructions is not None
@@ -316,7 +369,7 @@ class Core:
         under WFB the faulting micro-op's state may *already* have been
         promoted — the Meltdown hole the paper describes.
         """
-        self._c_faults.increment()
+        self._n_faults += 1
         self._fault_events.append(FaultEvent(
             cycle=self.cycle, pc=uop.pc, vaddr=uop.vaddr or 0,
             kind=uop.fault or "unknown"))
@@ -334,6 +387,8 @@ class Core:
     # ------------------------------------------------------------------
 
     def _writeback_stage(self) -> None:
+        if not self._executing:
+            return
         finishing = [u for u in self._executing
                      if u.done_cycle <= self.cycle
                      and u.state is UopState.ISSUED]
@@ -365,7 +420,7 @@ class Core:
                     continue
 
     def _resolve_branch(self, uop: DynUop) -> None:
-        self._c_branches.increment()
+        self._n_branches += 1
         try:
             self._unresolved_branches.remove(uop.seq)
         except ValueError:
@@ -383,10 +438,10 @@ class Core:
         if uop.actual_taken and uop.actual_target is not None:
             self.btb.update(uop.pc, uop.actual_target)
         if mispredicted:
-            self._c_mispredicts.increment()
+            self._n_mispredicts += 1
             self._squash_younger_than(uop.seq)
             self._redirect_fetch(actual_target,
-                                 penalty=self.config.mispredict_penalty)
+                                 penalty=self._mispredict_penalty)
         else:
             self._clear_branch_dependence(uop)
 
@@ -411,7 +466,7 @@ class Core:
     # ------------------------------------------------------------------
 
     def _discard_uop(self, uop: DynUop) -> None:
-        self._c_squashed.increment()
+        self._n_squashed += 1
         if self.engine:
             self.engine.on_squash(uop)
 
@@ -468,10 +523,15 @@ class Core:
         return None
 
     def _issue_stage(self) -> None:
+        ready = self.iq.ready_uops()
+        if not ready:
+            return
         barrier = self._oldest_pending_fence()
+        issue_width = self._issue_width
+        try_claim = self.fus.try_claim_index
         issued = 0
-        for uop in self.iq.ready_uops():
-            if issued >= self.config.issue_width:
+        for uop in ready:
+            if issued >= issue_width:
                 break
             if barrier is not None and uop.seq > barrier:
                 continue
@@ -482,7 +542,7 @@ class Core:
             if not self._shadow_admits(uop):
                 uop.blocked_on_shadow = True
                 continue
-            if not self.fus.try_claim(uop.inst_class):
+            if not try_claim(uop.fu_index):
                 continue
             self._execute(uop)
             issued += 1
@@ -512,7 +572,7 @@ class Core:
             self._execute_alu(uop)
         elif op is Opcode.LOADIMM:
             uop.result = to_unsigned(uop.inst.imm)
-            uop.done_cycle = self.cycle + self.config.alu_latency
+            uop.done_cycle = self.cycle + self._alu_latency
         elif op is Opcode.LOAD:
             self._execute_load(uop)
         elif op is Opcode.STORE:
@@ -554,8 +614,8 @@ class Core:
         else:
             value = lhs >> (rhs & 63)
         uop.result = to_unsigned(value)
-        latency = (self.config.mul_latency if op is AluOp.MUL
-                   else self.config.alu_latency)
+        latency = (self._mul_latency if op is AluOp.MUL
+                   else self._alu_latency)
         uop.done_cycle = self.cycle + latency
 
     def _execute_load(self, uop: DynUop) -> None:
@@ -566,8 +626,8 @@ class Core:
             value, _store = forwarded
             uop.result = to_unsigned(value)
             uop.forwarded = True
-            uop.done_cycle = self.cycle + self.config.store_forward_latency
-            self._c_forwards.increment()
+            uop.done_cycle = self.cycle + self._store_forward_latency
+            self._n_forwards += 1
             return
         result = self.hierarchy.data_access(
             uop.vaddr, is_write=False, privilege=self.privilege,
@@ -628,23 +688,28 @@ class Core:
         uop.done_cycle = self.cycle + 1
 
     def _record_data_access(self, result: AccessResult) -> None:
-        self._c_d_access.increment()
+        self._n_d_access += 1
         if result.hit_level == "shadow":
-            self._c_d_shadow_hits.increment()
+            self._n_d_shadow_hits += 1
         elif result.hit_level == "L1":
-            self._c_d_l1_hits.increment()
+            self._n_d_l1_hits += 1
         else:
-            self._c_d_miss.increment()
+            self._n_d_miss += 1
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
 
     def _dispatch_stage(self) -> None:
+        fetch_buffer = self._fetch_buffer
+        if not fetch_buffer:
+            return
+        cycle = self.cycle
+        front_end_depth = self._front_end_depth
         dispatched = 0
-        while (self._fetch_buffer and dispatched < self.config.issue_width):
-            uop = self._fetch_buffer[0]
-            if uop.fetch_cycle + self.config.front_end_depth > self.cycle:
+        while fetch_buffer and dispatched < self._issue_width:
+            uop = fetch_buffer[0]
+            if uop.fetch_cycle + front_end_depth > cycle:
                 break
             if self.rob.full or self.iq.full:
                 break
@@ -652,7 +717,7 @@ class Core:
                 break
             if uop.is_store and self.lsq.stq_full:
                 break
-            self._fetch_buffer.pop(0)
+            fetch_buffer.popleft()
             self._dispatch_uop(uop)
             dispatched += 1
 
@@ -697,7 +762,7 @@ class Core:
         if self.cycle < self._fetch_stall_until or self._fetch_halted:
             return
         fetched = 0
-        while (fetched < self.config.fetch_width
+        while (fetched < self._fetch_width
                and len(self._fetch_buffer) < _FETCH_BUFFER_CAP):
             inst = self.program.fetch(self._fetch_pc)
             if inst is None:
@@ -733,13 +798,13 @@ class Core:
         uop.ifetch_level = result.hit_level
         uop.ifetch_line = line
         uop.iwalked = not result.tlb_hit
-        self._c_i_access.increment()
+        self._n_i_access += 1
         if result.hit_level == "shadow":
-            self._c_i_shadow_hits.increment()
+            self._n_i_shadow_hits += 1
         elif result.hit_level == "L1":
-            self._c_i_l1_hits.increment()
+            self._n_i_l1_hits += 1
         else:
-            self._c_i_miss.increment()
+            self._n_i_miss += 1
         hit_latency = self.hierarchy.config.l1i.hit_latency
         if result.latency > hit_latency:
             extra = result.latency - hit_latency

@@ -2,19 +2,29 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+import operator
+from typing import Iterator, List
 
 from repro.errors import SimulationError
-from repro.isa.instructions import InstructionClass
+from repro.isa.instructions import FU_CLASS_INDEX, InstructionClass
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.uop import DynUop, UopState
 
+_BY_SEQ = operator.attrgetter("seq")
+
 
 class FunctionalUnits:
-    """Per-cycle issue-slot accounting for each unit class."""
+    """Per-cycle issue-slot accounting for each unit class.
+
+    Capacity and usage are dense lists indexed by the instruction-class
+    ``fu_index`` decoded at assembly time — the per-cycle reset and the
+    per-issue claim are plain list operations with no enum hashing.
+    """
+
+    __slots__ = ("_capacity", "_used", "_zeros", "_dirty")
 
     def __init__(self, config: CoreConfig) -> None:
-        self._capacity: Dict[InstructionClass, int] = {
+        by_class = {
             InstructionClass.INT: config.int_alus,
             InstructionClass.MUL: config.mul_units,
             InstructionClass.LOAD: config.load_ports,
@@ -22,18 +32,31 @@ class FunctionalUnits:
             InstructionClass.BRANCH: config.branch_units,
             InstructionClass.SYSTEM: 1,
         }
-        self._used: Dict[InstructionClass, int] = {}
+        self._capacity: List[int] = [0] * len(FU_CLASS_INDEX)
+        for cls, capacity in by_class.items():
+            self._capacity[FU_CLASS_INDEX[cls]] = capacity
+        self._zeros: List[int] = [0] * len(self._capacity)
+        self._used: List[int] = list(self._zeros)
+        self._dirty = False
 
     def new_cycle(self) -> None:
         """Release every unit for the next cycle (fully pipelined units)."""
-        self._used = {cls: 0 for cls in self._capacity}
+        if self._dirty:
+            self._used = list(self._zeros)
+            self._dirty = False
+
+    def try_claim_index(self, fu_index: int) -> bool:
+        """Claim an issue slot of the indexed class if one remains."""
+        used = self._used
+        if used[fu_index] >= self._capacity[fu_index]:
+            return False
+        used[fu_index] += 1
+        self._dirty = True
+        return True
 
     def try_claim(self, inst_class: InstructionClass) -> bool:
         """Claim an issue slot of the given class if one remains."""
-        if self._used.get(inst_class, 0) >= self._capacity[inst_class]:
-            return False
-        self._used[inst_class] = self._used.get(inst_class, 0) + 1
-        return True
+        return self.try_claim_index(FU_CLASS_INDEX[inst_class])
 
 
 class IssueQueue:
@@ -44,6 +67,8 @@ class IssueQueue:
     producer's writeback wakes them), so the scheduler never polls
     waiting entries.
     """
+
+    __slots__ = ("capacity", "_entries", "_ready")
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
@@ -61,7 +86,7 @@ class IssueQueue:
         return len(self._entries) >= self.capacity
 
     def add(self, uop: DynUop) -> None:
-        if self.full:
+        if len(self._entries) >= self.capacity:
             raise SimulationError("IQ overflow — dispatch must check full")
         self._entries.append(uop)
         if uop.pending == 0:
@@ -81,11 +106,17 @@ class IssueQueue:
 
     def drop_squashed(self) -> None:
         self._entries = [u for u in self._entries
-                         if u.state != UopState.SQUASHED]
+                         if u.state is not UopState.SQUASHED]
         self._ready = [u for u in self._ready
-                       if u.state != UopState.SQUASHED]
+                       if u.state is not UopState.SQUASHED]
 
     def ready_uops(self) -> List[DynUop]:
-        """Micro-ops whose operands are all available, oldest first."""
-        self._ready.sort(key=lambda u: u.seq)
-        return list(self._ready)
+        """Micro-ops whose operands are all available, oldest first.
+
+        Always returns a snapshot, never the live ready list.
+        """
+        ready = self._ready
+        if not ready:
+            return []
+        ready.sort(key=_BY_SEQ)
+        return list(ready)

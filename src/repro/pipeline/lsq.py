@@ -21,6 +21,9 @@ from repro.pipeline.uop import DynUop, UopState
 class LoadStoreQueue:
     """Combined LDQ/STQ bookkeeping (separately bounded)."""
 
+    __slots__ = ("ldq_capacity", "stq_capacity", "_word_bytes",
+                 "_loads", "_stores")
+
     def __init__(self, ldq_entries: int, stq_entries: int,
                  word_bytes: int = 8) -> None:
         self.ldq_capacity = ldq_entries
@@ -76,10 +79,13 @@ class LoadStoreQueue:
 
     def older_store_blocks(self, load: DynUop) -> bool:
         """True while any older store has an unresolved address."""
+        if not self._stores:
+            return False
+        load_seq = load.seq
         for store in self._stores:
-            if store.seq >= load.seq:
+            if store.seq >= load_seq:
                 continue
-            if store.state == UopState.SQUASHED:
+            if store.state is UopState.SQUASHED:
                 continue
             if store.vaddr is None:
                 return True
@@ -91,9 +97,11 @@ class LoadStoreQueue:
         Returns ``(value, store)`` or ``None``.  Must only be called once
         :meth:`older_store_blocks` is False.
         """
+        if not self._stores:
+            return None
         best: Optional[DynUop] = None
         for store in self._stores:
-            if store.seq >= load.seq or store.state == UopState.SQUASHED:
+            if store.seq >= load.seq or store.state is UopState.SQUASHED:
                 continue
             if store.vaddr is None or load.vaddr is None:
                 continue

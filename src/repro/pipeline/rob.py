@@ -10,7 +10,13 @@ from repro.pipeline.uop import DynUop, UopState
 
 
 class ReorderBuffer:
-    """A bounded FIFO of in-flight micro-ops in program order."""
+    """A bounded FIFO of in-flight micro-ops in program order.
+
+    The backing deque is never replaced, only mutated, so the core may
+    bind it once per run for its per-cycle emptiness checks.
+    """
+
+    __slots__ = ("capacity", "_entries")
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
@@ -52,15 +58,16 @@ class ReorderBuffer:
         Used on branch misprediction and fault: everything younger than
         the redirecting micro-op is annulled.
         """
-        survivors: Deque[DynUop] = deque()
+        # Sequence numbers are monotone in program order, so everything
+        # younger than ``seq`` is a suffix: pop from the tail in place
+        # (O(squashed), and the deque object identity is preserved).
+        entries = self._entries
         squashed: List[DynUop] = []
-        for uop in self._entries:
-            if uop.seq > seq:
-                uop.state = UopState.SQUASHED
-                squashed.append(uop)
-            else:
-                survivors.append(uop)
-        self._entries = survivors
+        while entries and entries[-1].seq > seq:
+            uop = entries.pop()
+            uop.state = UopState.SQUASHED
+            squashed.append(uop)
+        squashed.reverse()
         return squashed
 
     def squash_all(self) -> List[DynUop]:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional, Set, TYPE_CHECKING
 
-from repro.isa.instructions import Instruction, InstructionClass, Opcode
+from repro.isa.instructions import Instruction, Opcode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     pass
@@ -32,6 +32,8 @@ class DynUop:
 
     __slots__ = (
         "seq", "inst", "pc", "index", "state",
+        "opcode", "is_load", "is_store", "is_branch", "is_serialising",
+        "inst_class", "fu_index",
         "fetch_cycle", "dispatch_cycle", "issue_cycle", "done_cycle",
         "commit_cycle",
         "pred_taken", "pred_target", "actual_taken", "actual_target",
@@ -50,6 +52,19 @@ class DynUop:
         self.pc = pc
         self.index = index
         self.state = UopState.FETCHED
+
+        # Decoded classification, copied from the (assembly-time decoded)
+        # instruction so the pipeline's per-cycle checks are plain slot
+        # reads instead of chained property calls.
+        opcode = inst.opcode
+        self.opcode = opcode
+        self.is_load = opcode is Opcode.LOAD
+        self.is_store = opcode is Opcode.STORE
+        self.is_branch = inst.is_control_flow
+        self.is_serialising = (opcode is Opcode.RDTSC
+                               or opcode is Opcode.FENCE)
+        self.inst_class = inst.inst_class
+        self.fu_index = inst.fu_index
 
         self.fetch_cycle = fetch_cycle
         self.dispatch_cycle = -1
@@ -91,31 +106,6 @@ class DynUop:
         self.blocked_on_shadow = False   # stalled by a full shadow structure
 
     # -- classification ----------------------------------------------------
-
-    @property
-    def opcode(self) -> Opcode:
-        return self.inst.opcode
-
-    @property
-    def is_load(self) -> bool:
-        return self.inst.opcode == Opcode.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.inst.opcode == Opcode.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.inst.is_control_flow
-
-    @property
-    def is_serialising(self) -> bool:
-        """RDTSC and FENCE issue only when oldest in the ROB."""
-        return self.inst.opcode in (Opcode.RDTSC, Opcode.FENCE)
-
-    @property
-    def inst_class(self) -> InstructionClass:
-        return self.inst.inst_class
 
     @property
     def in_flight(self) -> bool:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import CommitPolicy, Machine, ProgramBuilder
-from repro.errors import SimulationError
 from repro.memory.paging import PrivilegeLevel
 
 DATA = 0x20000

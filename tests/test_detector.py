@@ -5,7 +5,6 @@ import pytest
 from repro import CommitPolicy, Machine, ProgramBuilder
 from repro.core.detector import (DEFAULT_THRESHOLDS, ShadowAnomalyDetector)
 from repro.errors import ConfigError
-from repro.workloads import run_workload
 
 
 class TestConfiguration:

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.memory.hierarchy import (AccessResult, HierarchyConfig,
-                                    MemoryHierarchy)
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.memory.paging import (PAGE_SIZE, PagePermissions, PageTable,
                                  PrivilegeLevel)
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.hwmodel import (CamModel, SramModel, TECH_40NM,
+from repro.hwmodel import (CamModel, SramModel,
                            l1_reference_estimate, shadow_overhead_report,
                            table5)
 from repro.hwmodel.overhead import (SECURE_SIZING, WFC_SIZING,

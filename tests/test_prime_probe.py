@@ -1,7 +1,5 @@
 """Tests for the prime+probe receiver and the Spectre v1 P+P variant."""
 
-import pytest
-
 from repro import CommitPolicy, Machine, ProgramBuilder
 from repro.attacks.channels import PrimeProbeChannel
 from repro.attacks.spectre_pp import run_spectre_v1_prime_probe

@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) on core data structures/invariants."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.shadow import FullPolicy, ShadowStructure
 from repro.isa.registers import to_signed, to_unsigned

@@ -4,7 +4,6 @@ import pytest
 
 from repro import Machine, ProgramBuilder
 from repro.errors import ConfigError
-from repro.memory.paging import PrivilegeLevel
 from repro.pipeline.core import Core
 from repro.pipeline.trace import PipelineTracer
 
