@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Shadow-structure sizing sensitivity via the hardware-spec sweep axis.
+
+The paper's Figures 6-9 size the SafeSpec shadow structures from their
+observed occupancy, and Section VII argues the worst-case (SECURE)
+sizing closes transient speculation attacks that the p99.99
+(PERFORMANCE) sizing leaves open.  With ``MachineSpec`` as a sweep
+axis, that whole study is one declarative grid: each sizing mode is a
+preset (or a ``derive``d variant), every cell is cached under its own
+spec digest, and ``Session.sweep`` fans the grid out in parallel.
+
+Usage::
+
+    python examples/shadow_sizing_sweep.py
+"""
+
+from repro import CommitPolicy, MachineSpec, SafeSpecConfig, SizingMode
+from repro.api import Session, Sweep
+from repro.core.shadow import FullPolicy
+from repro.spec import get_spec
+
+STRUCTURES = ("shadow_dcache", "shadow_icache", "shadow_itlb",
+              "shadow_dtlb")
+
+
+def tiny_custom() -> MachineSpec:
+    """An aggressively undersized shadow — the TSA-vulnerable end."""
+    return MachineSpec().derive(safespec=SafeSpecConfig(
+        policy=CommitPolicy.WFC, sizing=SizingMode.CUSTOM,
+        full_policy=FullPolicy.DROP,
+        dcache_entries=16, icache_entries=16,
+        itlb_entries=4, dtlb_entries=4))
+
+
+def main() -> None:
+    sizings = {
+        "secure": get_spec("safespec-secure"),
+        "p9999": get_spec("safespec-p9999"),
+        "tiny": tiny_custom(),
+    }
+    sweep = Sweep(benchmarks=["mcf", "xz"],
+                  policies=[CommitPolicy.WFC],
+                  instructions=4_000,
+                  specs=sizings)
+    session = Session(jobs=2)
+    result = session.sweep(sweep)
+
+    header = (f"{'benchmark':10s} {'sizing':8s} {'IPC':>7s} "
+              + " ".join(f"{s.removeprefix('shadow_'):>7s}"
+                         for s in STRUCTURES))
+    print("p99.99 shadow occupancy (entries) by sizing mode")
+    print(header)
+    print("-" * len(header))
+    for point, run in result:
+        occupancy = " ".join(
+            f"{run.shadow_size_percentile(s):7d}" for s in STRUCTURES)
+        print(f"{point.benchmark:10s} {point.spec:8s} "
+              f"{run.ipc:7.3f} {occupancy}")
+    print(session.describe_cache())
+
+
+if __name__ == "__main__":
+    main()

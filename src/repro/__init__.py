@@ -4,6 +4,8 @@ Public API:
 
 * :class:`~repro.machine.Machine` — a simulated out-of-order CPU with a
   selectable commit policy (BASELINE / WFB / WFC).
+* :mod:`repro.spec` — declarative :class:`~repro.spec.MachineSpec`
+  hardware descriptions plus the ``SPECS`` preset registry.
 * :mod:`repro.isa` — the instruction set and program builder.
 * :mod:`repro.attacks` — Spectre/Meltdown/TSA proof-of-concept attacks.
 * :mod:`repro.workloads` — the synthetic SPEC CPU2017-like suite.
@@ -18,6 +20,7 @@ from repro.isa import ProgramBuilder, assemble
 from repro.machine import Machine
 from repro.memory.paging import PrivilegeLevel
 from repro.pipeline.config import CoreConfig
+from repro.spec import MachineSpec, get_spec, spec_names
 
 __version__ = "1.0.0"
 
@@ -26,10 +29,13 @@ __all__ = [
     "CoreConfig",
     "FullPolicy",
     "Machine",
+    "MachineSpec",
     "PrivilegeLevel",
     "ProgramBuilder",
     "SafeSpecConfig",
     "SizingMode",
     "assemble",
+    "get_spec",
+    "spec_names",
     "__version__",
 ]

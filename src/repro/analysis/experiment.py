@@ -18,6 +18,7 @@ from repro.core.policy import CommitPolicy
 from repro.exec.cache import ResultCache
 from repro.exec.executor import make_executor
 from repro.exec.job import SimJob, SimResult, workload_job
+from repro.spec import MachineSpec
 from repro.statistics import geometric_mean
 from repro.workloads.profiles import suite_names
 from repro.workloads.suite import DEFAULT_INSTRUCTION_BUDGET
@@ -50,12 +51,14 @@ class ExperimentRunner:
                  instructions: int = DEFAULT_INSTRUCTION_BUDGET,
                  executor=None, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
-                 progress=None, session=None) -> None:
+                 progress=None, session=None,
+                 spec: Optional[MachineSpec] = None) -> None:
         # Imported here: repro.api.session itself builds runners.
         from repro.api.session import Session
 
         self.benchmarks = benchmarks or suite_names()
         self.instructions = instructions
+        self.spec = spec
         if session is None:
             if executor is None:
                 executor = make_executor(workers=jobs, cache=cache,
@@ -68,7 +71,8 @@ class ExperimentRunner:
     def job_for(self, benchmark: str, policy: CommitPolicy) -> SimJob:
         """The job spec describing one (benchmark, policy) simulation."""
         return workload_job(benchmark, policy,
-                            instructions=self.instructions)
+                            instructions=self.instructions,
+                            spec=self.spec)
 
     def run(self, benchmark: str, policy: CommitPolicy) -> SimResult:
         """Run (or fetch from cache) one benchmark under one policy."""

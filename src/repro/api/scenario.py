@@ -7,38 +7,53 @@ against the component registries at construction and lowered to a
 content-hashable :class:`~repro.exec.job.SimJob` with :meth:`Scenario.job`.
 
 A :class:`Sweep` expands a cartesian grid of benchmarks x policies x
-named config variants (e.g. ROB/LDQ/shadow-sizing ablations) into a
-deterministic batch of scenarios, making parameter-sweep studies a
-first-class, cacheable API instead of bespoke scripts::
+hardware specs x named config variants (e.g. ROB/LDQ/shadow-sizing
+ablations) into a deterministic batch of scenarios, making
+parameter-sweep studies a first-class, cacheable API instead of bespoke
+scripts::
 
     sweep = Sweep(benchmarks=["mcf", "xz"],
                   policies=[CommitPolicy.WFC],
-                  variants={f"rob{n}": {"core_config":
-                                        CoreConfig(rob_entries=n)}
+                  specs=["skylake-table1", "little-core"],
+                  variants={f"rob{n}": {"core.rob_entries": n}
                             for n in (96, 128, 224)})
     result = Session(jobs=4).sweep(sweep)
 
-Expansion order is benchmark-major, then policy, then variant (all in
-the order given), so job batches — and therefore cache keys, progress
-lines and result rows — are stable across runs.
+``specs`` is the hardware axis: preset names (or a mapping of label ->
+:class:`~repro.spec.MachineSpec`), each a distinct cache key.  Variant
+overrides may name the legacy config axes (``core_config`` etc., whole
+config objects) or dotted :meth:`MachineSpec.derive` paths; dotted
+overrides apply on top of each spec in the grid.
+
+Expansion order is benchmark-major, then policy, then spec, then
+variant (all in the order given), so job batches — and therefore cache
+keys, progress lines and result rows — are stable across runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import (Any, Dict, List, Mapping, Optional, Sequence)
+from typing import (Any, Dict, List, Mapping, Optional, Sequence, Union)
 
 from repro.api.registry import ATTACKS, WORKLOADS
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig
 from repro.errors import ConfigError
 from repro.exec.job import (ATTACK, DEFAULT_INSTRUCTION_BUDGET, WORKLOAD,
-                            SimJob)
+                            SimJob, ensure_single_config_style,
+                            spec_params)
 from repro.memory.hierarchy import HierarchyConfig
 from repro.pipeline.config import CoreConfig
+from repro.spec import MachineSpec, get_spec
 
-# The config axes a sweep variant may override.
+# The legacy config axes a sweep variant may override (whole objects);
+# any other key must be a MachineSpec.derive dotted path.
 _OVERRIDE_KEYS = ("core_config", "hierarchy_config", "safespec_config")
+
+# Legacy override key -> the spec section it replaces.
+_OVERRIDE_SECTIONS = {"core_config": "core",
+                      "hierarchy_config": "hierarchy",
+                      "safespec_config": "safespec"}
 
 DEFAULT_VARIANT = "default"
 
@@ -64,8 +79,14 @@ class Scenario:
     core_config: Optional[CoreConfig] = None
     hierarchy_config: Optional[HierarchyConfig] = None
     safespec_config: Optional[SafeSpecConfig] = None
+    spec: Optional[MachineSpec] = None
     serial_group: Optional[str] = None
     label: str = ""
+
+    def __post_init__(self) -> None:
+        ensure_single_config_style(self.spec, self.core_config,
+                                   self.hierarchy_config,
+                                   self.safespec_config)
 
     @classmethod
     def workload(cls, benchmark: str,
@@ -74,6 +95,7 @@ class Scenario:
                  core_config: Optional[CoreConfig] = None,
                  hierarchy_config: Optional[HierarchyConfig] = None,
                  safespec_config: Optional[SafeSpecConfig] = None,
+                 spec: Optional[MachineSpec] = None,
                  label: str = "", **params: Any) -> "Scenario":
         """A scenario running one registered suite benchmark."""
         WORKLOADS.entry(benchmark)      # unknown names fail here, loudly
@@ -81,13 +103,14 @@ class Scenario:
                    instructions=instructions, params=params,
                    core_config=core_config,
                    hierarchy_config=hierarchy_config,
-                   safespec_config=safespec_config, label=label)
+                   safespec_config=safespec_config, spec=spec, label=label)
 
     @classmethod
     def attack(cls, name: str,
                policy: CommitPolicy = CommitPolicy.BASELINE, *,
                secret: int = 42,
                instructions: int = DEFAULT_INSTRUCTION_BUDGET,
+               spec: Optional[MachineSpec] = None,
                serial_group: Optional[str] = None,
                label: str = "", **params: Any) -> "Scenario":
         """A scenario running one registered attack PoC.
@@ -99,13 +122,20 @@ class Scenario:
         return cls(kind=ATTACK, target=name, policy=policy,
                    instructions=instructions,
                    params={"secret": secret, **params},
-                   serial_group=serial_group, label=label)
+                   spec=spec, serial_group=serial_group, label=label)
 
     def job(self) -> SimJob:
-        """Lower this scenario to its content-hashable job."""
+        """Lower this scenario to its content-hashable job.
+
+        A spec-carrying scenario lowers the spec into the job's
+        ``params`` (full dict + digest), so the hardware shape flows
+        into the content hash and across executor workers.
+        """
+        params = dict(self.params)
+        params.update(spec_params(self.spec))
         return SimJob(kind=self.kind, target=self.target, policy=self.policy,
                       instructions=self.instructions,
-                      params=dict(self.params),
+                      params=params,
                       core_config=self.core_config,
                       hierarchy_config=self.hierarchy_config,
                       safespec_config=self.safespec_config,
@@ -122,25 +152,36 @@ class SweepPoint:
     benchmark: str
     policy: CommitPolicy
     variant: str
+    spec: str = DEFAULT_VARIANT
 
     def describe(self) -> str:
-        return f"{self.benchmark}/{self.policy.value}/{self.variant}"
+        base = f"{self.benchmark}/{self.policy.value}/{self.variant}"
+        if self.spec == DEFAULT_VARIANT:
+            return base
+        return f"{base}/{self.spec}"
 
 
 class Sweep:
-    """A cartesian grid of benchmarks x policies x config variants.
+    """A cartesian grid of benchmarks x policies x specs x variants.
 
-    ``variants`` maps a variant name to the config overrides defining it
-    (any of ``core_config``, ``hierarchy_config``, ``safespec_config``);
-    omitted, the sweep has the single unmodified ``"default"`` variant.
-    Benchmarks are validated against the workload registry up front so a
-    typo fails before any simulation runs.
+    ``specs`` is the hardware axis: a sequence of preset names (looked
+    up in :data:`repro.spec.SPECS`) or a mapping of label ->
+    :class:`~repro.spec.MachineSpec`; omitted, every cell runs the
+    unmodified default machine.  ``variants`` maps a variant name to
+    the overrides defining it — whole config objects under the legacy
+    keys (``core_config``, ``hierarchy_config``, ``safespec_config``)
+    or dotted :meth:`MachineSpec.derive` paths (``"core.rob_entries"``),
+    which apply on top of each spec in the grid.  Benchmarks, preset
+    names and override paths are validated up front so a typo fails
+    before any simulation runs.
     """
 
     def __init__(self, benchmarks: Sequence[str],
                  policies: Sequence[CommitPolicy] = (CommitPolicy.BASELINE,),
                  instructions: int = DEFAULT_INSTRUCTION_BUDGET,
                  variants: Optional[Mapping[str, Mapping[str, Any]]] = None,
+                 specs: Optional[Union[Sequence[str],
+                                       Mapping[str, MachineSpec]]] = None,
                  ) -> None:
         if not benchmarks:
             raise ConfigError("sweep needs at least one benchmark")
@@ -152,36 +193,80 @@ class Sweep:
             # other empty axes instead of silently running defaults.
             raise ConfigError("sweep needs at least one variant "
                               "(omit `variants` for the default)")
+        if specs is not None and not specs:
+            raise ConfigError("sweep needs at least one spec "
+                              "(omit `specs` for the default machine)")
         for benchmark in benchmarks:
             WORKLOADS.entry(benchmark)
         self.benchmarks = list(benchmarks)
         self.policies = list(policies)
         self.instructions = instructions
+        # None marks "no spec attached": the cell runs exactly the
+        # legacy default-machine job (same cache key as before specs
+        # existed).
+        self.specs: Dict[str, Optional[MachineSpec]] = {}
+        if specs is None:
+            self.specs[DEFAULT_VARIANT] = None
+        elif isinstance(specs, Mapping):
+            for label, spec in specs.items():
+                if not isinstance(spec, MachineSpec):
+                    raise ConfigError(
+                        f"spec {label!r} must be a MachineSpec, "
+                        f"got {type(spec).__name__}")
+                self.specs[label] = spec
+        else:
+            for name in specs:
+                if not isinstance(name, str):
+                    raise ConfigError(
+                        "the specs sequence takes preset names; pass a "
+                        "mapping of label -> MachineSpec for ad-hoc specs")
+                self.specs[name] = get_spec(name)
         self.variants: Dict[str, Dict[str, Any]] = {}
         if variants is None:
             variants = {DEFAULT_VARIANT: {}}
         for name, overrides in variants.items():
-            unknown = set(overrides) - set(_OVERRIDE_KEYS)
-            if unknown:
-                raise ConfigError(
-                    f"variant {name!r} overrides unknown config axes "
-                    f"{sorted(unknown)}; allowed: {list(_OVERRIDE_KEYS)}")
+            for key in overrides:
+                if key not in _OVERRIDE_KEYS:
+                    # Dotted derive paths validate structurally here;
+                    # value errors surface when scenarios are built.
+                    MachineSpec.resolve_path(key)
             self.variants[name] = dict(overrides)
 
     def points(self) -> List[SweepPoint]:
-        """Grid cells in expansion order (benchmark, policy, variant)."""
-        return [SweepPoint(benchmark, policy, variant)
+        """Grid cells in expansion order (benchmark, policy, spec,
+        variant)."""
+        return [SweepPoint(benchmark, policy, variant, spec)
                 for benchmark in self.benchmarks
                 for policy in self.policies
+                for spec in self.specs
                 for variant in self.variants]
+
+    def _scenario_for(self, point: SweepPoint) -> Scenario:
+        base = self.specs[point.spec]
+        overrides = self.variants[point.variant]
+        legacy = {key: overrides[key] for key in _OVERRIDE_KEYS
+                  if key in overrides}
+        derived = {key: value for key, value in overrides.items()
+                   if key not in _OVERRIDE_KEYS}
+        if base is None and not derived:
+            # Pure-legacy cell: identical job (and cache key) to a
+            # pre-spec sweep.
+            return Scenario.workload(point.benchmark, point.policy,
+                                     instructions=self.instructions,
+                                     label=point.describe(), **legacy)
+        spec = base if base is not None else MachineSpec()
+        merged = {_OVERRIDE_SECTIONS[key]: value
+                  for key, value in legacy.items()}
+        merged.update(derived)
+        if merged:
+            spec = spec.derive(**merged)
+        return Scenario.workload(point.benchmark, point.policy,
+                                 instructions=self.instructions,
+                                 label=point.describe(), spec=spec)
 
     def scenarios(self) -> List[Scenario]:
         """One workload scenario per grid cell, in :meth:`points` order."""
-        return [Scenario.workload(point.benchmark, point.policy,
-                                  instructions=self.instructions,
-                                  label=point.describe(),
-                                  **self.variants[point.variant])
-                for point in self.points()]
+        return [self._scenario_for(point) for point in self.points()]
 
     def jobs(self) -> List[SimJob]:
         """The deterministic job batch this sweep expands to."""
@@ -189,4 +274,4 @@ class Sweep:
 
     def __len__(self) -> int:
         return (len(self.benchmarks) * len(self.policies)
-                * len(self.variants))
+                * len(self.specs) * len(self.variants))

@@ -25,6 +25,7 @@ from repro.errors import ConfigError
 from repro.exec.cache import NullCache, ResultCache
 from repro.exec.executor import ProgressFn, make_executor
 from repro.exec.job import DEFAULT_INSTRUCTION_BUDGET, SimJob, SimResult
+from repro.spec import MachineSpec
 
 # The matrix default: the paper's protected variants plus the insecure
 # baseline they are compared against.
@@ -48,14 +49,15 @@ class SweepResult:
         return len(self.results)
 
     def result(self, benchmark: str, policy: CommitPolicy,
-               variant: str = "default") -> SimResult:
+               variant: str = "default",
+               spec: str = "default") -> SimResult:
         """The result at one grid cell."""
         for point, result in self:
             if (point.benchmark == benchmark and point.policy == policy
-                    and point.variant == variant):
+                    and point.variant == variant and point.spec == spec):
                 return result
         raise ConfigError(
-            f"no sweep point {benchmark}/{policy.value}/{variant}")
+            f"no sweep point {benchmark}/{policy.value}/{variant}/{spec}")
 
     @property
     def cached_count(self) -> int:
@@ -104,18 +106,21 @@ class Session:
 
     def matrix(self, attacks: Optional[Sequence[str]] = None,
                policies: Optional[Sequence[CommitPolicy]] = None,
-               secret: int = 42) -> Dict[str, Dict[str, Any]]:
+               secret: int = 42,
+               spec: Optional["MachineSpec"] = None
+               ) -> Dict[str, Dict[str, Any]]:
         """Every (attack, policy) outcome — the paper's Tables III & IV.
 
-        Returns ``{attack_name: {policy_value: AttackResult}}`` in
-        registry (table) order.
+        ``spec`` selects the victim machine's hardware shape for every
+        cell.  Returns ``{attack_name: {policy_value: AttackResult}}``
+        in registry (table) order.
         """
         from repro.api.registry import ATTACKS
         from repro.attacks.runner import attack_result_from_sim
 
         names = list(attacks) if attacks is not None else ATTACKS.names()
         chosen = list(policies) if policies else list(MATRIX_POLICIES)
-        scenarios = [Scenario.attack(name, policy, secret=secret)
+        scenarios = [Scenario.attack(name, policy, secret=secret, spec=spec)
                      for name in names for policy in chosen]
         results = self.run(scenarios)
         matrix: Dict[str, Dict[str, Any]] = {name: {} for name in names}
@@ -125,26 +130,30 @@ class Session:
         return matrix
 
     def experiment(self, benchmarks: Optional[List[str]] = None,
-                   instructions: int = DEFAULT_INSTRUCTION_BUDGET):
+                   instructions: int = DEFAULT_INSTRUCTION_BUDGET,
+                   spec: Optional["MachineSpec"] = None):
         """An :class:`~repro.analysis.experiment.ExperimentRunner` whose
         simulations run through this session."""
         from repro.analysis.experiment import ExperimentRunner
 
         return ExperimentRunner(benchmarks=benchmarks,
-                                instructions=instructions, session=self)
+                                instructions=instructions, session=self,
+                                spec=spec)
 
     def figures(self, benchmarks: Optional[List[str]] = None,
-                instructions: int = DEFAULT_INSTRUCTION_BUDGET
+                instructions: int = DEFAULT_INSTRUCTION_BUDGET,
+                spec: Optional["MachineSpec"] = None
                 ) -> Dict[str, Dict[str, Any]]:
         """Every performance figure's series, keyed by figure number.
 
         Submits the whole (benchmark x policy) grid as one batch, so a
-        parallel session fans the full sweep out at once.
+        parallel session fans the full sweep out at once; ``spec``
+        selects the hardware shape for every simulation.
         """
         from repro.analysis.experiment import FIGURE_POLICIES
         from repro.analysis.report import figures_data
 
-        runner = self.experiment(benchmarks, instructions)
+        runner = self.experiment(benchmarks, instructions, spec=spec)
         runner.run_all(FIGURE_POLICIES)
         return figures_data(runner)
 

@@ -21,6 +21,8 @@ receiver excludes slot 0 and the attack leaks secrets in 1..255.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.attacks.channels import IcacheReloadChannel
 from repro.attacks.gadgets import AttackLayout, warm_lines
 from repro.api.registry import register_attack
@@ -30,6 +32,7 @@ from repro.isa.assembler import ProgramBuilder
 from repro.isa.instructions import INSTRUCTION_BYTES
 from repro.isa.program import Program
 from repro.machine import Machine
+from repro.spec import MachineSpec
 
 _SLOTS = 256
 _SLOT_BYTES = 256                       # 16 instructions per function slot
@@ -91,15 +94,15 @@ def _patch_fn_base(layout: AttackLayout, victim: Program) -> Program:
 
 
 @register_attack("icache")
-def run_icache_variant(policy: CommitPolicy,
-                       secret: int = 42) -> AttackResult:
+def run_icache_variant(policy: CommitPolicy, secret: int = 42,
+                       spec: Optional[MachineSpec] = None) -> AttackResult:
     """Run the I-cache Spectre variant under the given commit policy."""
     if not 1 <= secret <= 255:
         raise ValueError(
             f"secret must be in 1..255 (slot 0 is the training pad), "
             f"got {secret}")
     layout = AttackLayout()
-    machine = Machine(policy=policy)
+    machine = Machine.from_spec(spec, policy=policy)
     layout.map_user_memory(machine)
     machine.write_word(layout.size_addr, 16)
     machine.write_word(layout.secret_addr, secret)

@@ -23,6 +23,8 @@ Table III); WFC holds the line in shadow until commit, which never comes.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.attacks.channels import FlushReloadChannel
 from repro.attacks.gadgets import AttackLayout, PAGE, warm_lines
 from repro.api.registry import register_attack
@@ -31,6 +33,7 @@ from repro.core.policy import CommitPolicy
 from repro.isa.assembler import ProgramBuilder
 from repro.isa.program import Program
 from repro.machine import Machine
+from repro.spec import MachineSpec
 from repro.memory.paging import PrivilegeLevel
 
 
@@ -59,12 +62,13 @@ def build_attacker(layout: AttackLayout) -> Program:
 
 
 @register_attack("meltdown", branch_free=True)
-def run_meltdown(policy: CommitPolicy, secret: int = 42) -> AttackResult:
+def run_meltdown(policy: CommitPolicy, secret: int = 42,
+                 spec: Optional[MachineSpec] = None) -> AttackResult:
     """Run the full Meltdown attack under the given commit policy."""
     if not 0 <= secret <= 255:
         raise ValueError(f"secret must be a byte, got {secret}")
     layout = AttackLayout()
-    machine = Machine(policy=policy)
+    machine = Machine.from_spec(spec, policy=policy)
     layout.map_user_memory(machine)
     layout.map_kernel_memory(machine)
     machine.hierarchy.memory.write_word(layout.kernel, secret)

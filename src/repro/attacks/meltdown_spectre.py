@@ -16,6 +16,8 @@ branch, WFC additionally stops fault-deferred leaks.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.attacks.channels import FlushReloadChannel
 from repro.attacks.gadgets import AttackLayout, warm_lines
 from repro.api.registry import register_attack
@@ -24,6 +26,7 @@ from repro.core.policy import CommitPolicy
 from repro.isa.assembler import ProgramBuilder
 from repro.isa.program import Program
 from repro.machine import Machine
+from repro.spec import MachineSpec
 from repro.memory.paging import PrivilegeLevel
 
 _TRAINING_RUNS = 6
@@ -48,13 +51,13 @@ def build_attacker(layout: AttackLayout) -> Program:
 
 
 @register_attack("meltdown_spectre")
-def run_meltdown_spectre(policy: CommitPolicy,
-                         secret: int = 42) -> AttackResult:
+def run_meltdown_spectre(policy: CommitPolicy, secret: int = 42,
+                         spec: Optional[MachineSpec] = None) -> AttackResult:
     """Run the combined Meltdown+Spectre attack under ``policy``."""
     if not 0 <= secret <= 255:
         raise ValueError(f"secret must be a byte, got {secret}")
     layout = AttackLayout()
-    machine = Machine(policy=policy)
+    machine = Machine.from_spec(spec, policy=policy)
     layout.map_user_memory(machine)
     layout.map_kernel_memory(machine)
     machine.write_word(layout.size_addr, 16)

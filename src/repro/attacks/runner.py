@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from repro.api import registry as api_registry
 from repro.core.policy import CommitPolicy
 from repro.exec.job import SimJob, SimResult, json_clean_details
+from repro.spec import MachineSpec, machine_spec_from_params
 
 
 @dataclass
@@ -61,9 +62,18 @@ def expected_closed(attack: str, policy: CommitPolicy) -> bool:
 
 
 def run_attack_by_name(name: str, policy: CommitPolicy,
-                       secret: int = 42) -> AttackResult:
-    """Run one registered attack by name."""
-    return api_registry.ATTACKS.get(name)(policy, secret)
+                       secret: int = 42,
+                       spec: Optional[MachineSpec] = None) -> AttackResult:
+    """Run one registered attack by name.
+
+    ``spec`` selects the victim machine's hardware shape; it is only
+    forwarded when given, so externally registered attacks with the
+    classic ``(policy, secret)`` signature keep working spec-less.
+    """
+    attack = api_registry.ATTACKS.get(name)
+    if spec is None:
+        return attack(policy, secret)
+    return attack(policy, secret, spec=spec)
 
 
 def run_attack_job(job: SimJob) -> SimResult:
@@ -74,7 +84,8 @@ def run_attack_job(job: SimJob) -> SimResult:
     into a serializable :class:`~repro.exec.job.SimResult`.
     """
     secret = int(job.params.get("secret", 42))
-    outcome = run_attack_by_name(job.target, job.policy, secret)
+    outcome = run_attack_by_name(job.target, job.policy, secret,
+                                 spec=machine_spec_from_params(job.params))
     return SimResult(
         job_key=job.key(),
         kind=job.kind,

@@ -15,6 +15,8 @@ recovered modulo the set count.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.attacks.channels import PrimeProbeChannel
 from repro.attacks.gadgets import AttackLayout, warm_lines
 from repro.api.registry import register_attack
@@ -23,6 +25,7 @@ from repro.core.policy import CommitPolicy
 from repro.isa.assembler import ProgramBuilder
 from repro.isa.program import Program
 from repro.machine import Machine
+from repro.spec import MachineSpec
 
 _TRAINING_RUNS = 6
 
@@ -46,13 +49,14 @@ def build_victim(layout: AttackLayout) -> Program:
 
 
 @register_attack("spectre_v1_pp")
-def run_spectre_v1_prime_probe(policy: CommitPolicy,
-                               secret: int = 42) -> AttackResult:
+def run_spectre_v1_prime_probe(policy: CommitPolicy, secret: int = 42,
+                               spec: Optional[MachineSpec] = None
+                               ) -> AttackResult:
     """Run Spectre v1 with a prime+probe receiver under ``policy``."""
     if not 0 <= secret <= 255:
         raise ValueError(f"secret must be a byte, got {secret}")
     layout = AttackLayout()
-    machine = Machine(policy=policy)
+    machine = Machine.from_spec(spec, policy=policy)
     layout.map_user_memory(machine)
     machine.write_word(layout.size_addr, 16)
     machine.write_word(layout.secret_addr, secret)

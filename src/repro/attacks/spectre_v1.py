@@ -19,6 +19,8 @@ d) flush+reload the probe array to recover the secret.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.attacks.channels import FlushReloadChannel
 from repro.attacks.gadgets import AttackLayout, warm_lines
 from repro.api.registry import register_attack
@@ -27,6 +29,7 @@ from repro.core.policy import CommitPolicy
 from repro.isa.assembler import ProgramBuilder
 from repro.isa.program import Program
 from repro.machine import Machine
+from repro.spec import MachineSpec
 
 _TRAINING_RUNS = 6
 _IN_BOUNDS_OFFSET = 1
@@ -51,12 +54,13 @@ def build_victim(layout: AttackLayout) -> Program:
 
 
 @register_attack("spectre_v1")
-def run_spectre_v1(policy: CommitPolicy, secret: int = 42) -> AttackResult:
+def run_spectre_v1(policy: CommitPolicy, secret: int = 42,
+                   spec: Optional[MachineSpec] = None) -> AttackResult:
     """Run the full Spectre v1 attack under the given commit policy."""
     if not 0 <= secret <= 255:
         raise ValueError(f"secret must be a byte, got {secret}")
     layout = AttackLayout()
-    machine = Machine(policy=policy)
+    machine = Machine.from_spec(spec, policy=policy)
     layout.map_user_memory(machine)
     machine.write_word(layout.size_addr, 16)
     machine.write_word(layout.secret_addr, secret)

@@ -20,6 +20,8 @@ the paper's reference [5].
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.attacks.channels import FlushReloadChannel
 from repro.attacks.gadgets import AttackLayout, warm_lines
 from repro.api.registry import register_attack
@@ -30,6 +32,7 @@ from repro.isa.assembler import ProgramBuilder
 from repro.isa.instructions import INSTRUCTION_BYTES
 from repro.isa.program import Program
 from repro.machine import Machine
+from repro.spec import MachineSpec
 
 _FNPTR_ADDR_OFFSET = 0x800  # function pointer lives in the size page
 
@@ -93,12 +96,13 @@ def build_poisoner(layout: AttackLayout, victim: Program,
 
 
 @register_attack("spectre_v2")
-def run_spectre_v2(policy: CommitPolicy, secret: int = 42) -> AttackResult:
+def run_spectre_v2(policy: CommitPolicy, secret: int = 42,
+                   spec: Optional[MachineSpec] = None) -> AttackResult:
     """Run the full Spectre v2 attack under the given commit policy."""
     if not 0 <= secret <= 255:
         raise ValueError(f"secret must be a byte, got {secret}")
     layout = AttackLayout()
-    machine = Machine(policy=policy)
+    machine = Machine.from_spec(spec, policy=policy)
     layout.map_user_memory(machine)
     machine.write_word(layout.secret_addr, secret)
 

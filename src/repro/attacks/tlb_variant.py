@@ -18,6 +18,8 @@ is the architectural training pad, so its secrets live in 1..63.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.attacks.channels import TlbProbeChannel
 from repro.attacks.gadgets import AttackLayout, PAGE, warm_lines
 from repro.api.registry import register_attack
@@ -27,6 +29,7 @@ from repro.isa.assembler import ProgramBuilder
 from repro.isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
 from repro.isa.program import Program
 from repro.machine import Machine
+from repro.spec import MachineSpec
 
 _SLOTS = 64
 _TLB_PROBE_BASE = 0x1_00_0000          # 64 user pages, never touched
@@ -56,7 +59,8 @@ def build_dtlb_victim(layout: AttackLayout) -> Program:
     return b.build()
 
 
-def run_dtlb_variant(policy: CommitPolicy, secret: int = 42) -> AttackResult:
+def run_dtlb_variant(policy: CommitPolicy, secret: int = 42,
+                     spec: Optional[MachineSpec] = None) -> AttackResult:
     """Run the dTLB Spectre variant under the given commit policy.
 
     Training runs architecturally execute the transmit with
@@ -67,7 +71,7 @@ def run_dtlb_variant(policy: CommitPolicy, secret: int = 42) -> AttackResult:
     if secret == 0:
         secret = 1
     layout = AttackLayout()
-    machine = Machine(policy=policy)
+    machine = Machine.from_spec(spec, policy=policy)
     layout.map_user_memory(machine)
     machine.map_user_range(_TLB_PROBE_BASE, _SLOTS * PAGE)
     machine.write_word(layout.size_addr, 16)
@@ -146,13 +150,14 @@ def _patch_fn_base(victim: Program) -> Program:
 
 
 @register_attack("itlb")
-def run_itlb_variant(policy: CommitPolicy, secret: int = 42) -> AttackResult:
+def run_itlb_variant(policy: CommitPolicy, secret: int = 42,
+                     spec: Optional[MachineSpec] = None) -> AttackResult:
     """Run the iTLB Spectre variant under the given commit policy."""
     secret = secret % _SLOTS
     if secret == 0:
         secret = 1  # slot 0 is the training pad
     layout = AttackLayout()
-    machine = Machine(policy=policy)
+    machine = Machine.from_spec(spec, policy=policy)
     layout.map_user_memory(machine)
     machine.write_word(layout.size_addr, 16)
     machine.write_word(layout.secret_addr, secret)

@@ -43,6 +43,7 @@ from repro.core.shadow import FullPolicy
 from repro.isa.assembler import ProgramBuilder
 from repro.isa.program import Program
 from repro.machine import Machine
+from repro.spec import MachineSpec
 
 _SHADOW_DTLB_SMALL = 4        # undersized shadow dTLB for the PoC
 _TROJAN_PAGES = 4             # trojan fills exactly the small shadow
@@ -102,7 +103,7 @@ def _prime_dtlb(machine: Machine, round_index: int) -> None:
 
 
 def _run_tsa(policy: CommitPolicy, secret_bit: int,
-             safespec_config: Optional[SafeSpecConfig]) -> AttackResult:
+             spec: Optional[MachineSpec]) -> AttackResult:
     layout = AttackLayout()
     if policy is CommitPolicy.BASELINE:
         # TSAs attack the shadow structures; without SafeSpec there is no
@@ -111,7 +112,7 @@ def _run_tsa(policy: CommitPolicy, secret_bit: int,
             attack="transient", policy=policy, secret=secret_bit,
             leaked=None,
             details={"note": "no shadow structures under the baseline"})
-    machine = Machine(policy=policy, safespec_config=safespec_config)
+    machine = Machine.from_spec(spec, policy=policy)
     layout.map_user_memory(machine)
     machine.map_user_range(_SPY_PAGE_A, PAGE)
     machine.map_user_range(_SPY_PAGE_B, PAGE)
@@ -163,7 +164,7 @@ def _run_tsa(policy: CommitPolicy, secret_bit: int,
 
 
 def _run_tsa_channel(policy: CommitPolicy, secret: int,
-                     config: Optional[SafeSpecConfig]) -> AttackResult:
+                     spec: Optional[MachineSpec]) -> AttackResult:
     """Run the TSA channel for both bit values and report honestly.
 
     A covert channel only exists if the receiver can distinguish a 0 from
@@ -172,7 +173,7 @@ def _run_tsa_channel(policy: CommitPolicy, secret: int,
     receiver reads 0 regardless of the bit — zero information.)
     """
     secret_bit = secret & 1
-    results = {bit: _run_tsa(policy, bit, config) for bit in (0, 1)}
+    results = {bit: _run_tsa(policy, bit, spec) for bit in (0, 1)}
     channel_works = all(results[bit].leaked == bit for bit in (0, 1))
     observed = results[secret_bit]
     return AttackResult(
@@ -189,18 +190,23 @@ def _run_tsa_channel(policy: CommitPolicy, secret: int,
 
 
 @register_attack("transient")
-def run_tsa(policy: CommitPolicy, secret: int = 1) -> AttackResult:
+def run_tsa(policy: CommitPolicy, secret: int = 1,
+            spec: Optional[MachineSpec] = None) -> AttackResult:
     """TSA against the paper's mitigated configuration (SECURE sizing).
 
     With worst-case shadow sizing the Trojan cannot create contention,
     so the receiver reads the same value for both bits and the channel
     carries no information — the attack is closed (paper Table IV).
+    A ``spec`` carrying its own ``safespec`` section (e.g. the
+    ``safespec-p9999`` preset) overrides the SECURE default, so sizing
+    sensitivity is sweepable like any other hardware axis.
     """
-    config = None
-    if policy.uses_shadow:
-        config = SafeSpecConfig(policy=policy, sizing=SizingMode.SECURE,
-                                full_policy=FullPolicy.DROP)
-    return _run_tsa_channel(policy, secret, config)
+    base = spec if spec is not None else MachineSpec()
+    if policy.uses_shadow and base.safespec is None:
+        base = base.derive(safespec=SafeSpecConfig(
+            policy=policy, sizing=SizingMode.SECURE,
+            full_policy=FullPolicy.DROP))
+    return _run_tsa_channel(policy, secret, base)
 
 
 def run_tsa_vulnerable(policy: CommitPolicy = CommitPolicy.WFC,
@@ -217,7 +223,8 @@ def run_tsa_vulnerable(policy: CommitPolicy = CommitPolicy.WFC,
         full_policy=FullPolicy.DROP,
         dcache_entries=256, icache_entries=256,
         itlb_entries=64, dtlb_entries=_SHADOW_DTLB_SMALL)
-    return _run_tsa_channel(policy, secret, config)
+    return _run_tsa_channel(policy, secret,
+                            MachineSpec().derive(safespec=config))
 
 
 def run_tsa_block_policy(policy: CommitPolicy = CommitPolicy.WFC,
@@ -237,9 +244,10 @@ def run_tsa_block_policy(policy: CommitPolicy = CommitPolicy.WFC,
         full_policy=FullPolicy.BLOCK,
         dcache_entries=256, icache_entries=256,
         itlb_entries=64, dtlb_entries=_SHADOW_DTLB_SMALL)
+    spec = MachineSpec().derive(safespec=config)
     cycles = {}
     for bit in (0, 1):
-        result = _run_tsa(policy, bit, config)
+        result = _run_tsa(policy, bit, spec)
         cycles[bit] = result.details.get("victim_cycles", 0)
     # Timing receiver: a transmitted 1 stalls the spy behind the full
     # shadow until the trojan is annulled (~hundreds of cycles).

@@ -39,6 +39,7 @@ from repro.core.policy import CommitPolicy
 from repro.exec.cache import NullCache
 from repro.exec.executor import execute_job
 from repro.exec.job import SimJob
+from repro.spec import MachineSpec
 
 # Bump when the payload layout changes incompatibly.
 BENCH_SCHEMA_VERSION = 1
@@ -50,16 +51,24 @@ _CALIBRATION_LOOPS = 200_000
 
 @dataclass(frozen=True)
 class BenchSpec:
-    """One named, timed simulation."""
+    """One named, timed simulation.
+
+    ``machine_spec`` selects the hardware shape (CLI ``--preset`` /
+    ``--set``); attaching one changes the job key, so the comparator
+    marks baseline rows stale rather than gating scores across
+    different machines.
+    """
 
     name: str
     benchmark: str
     policy: CommitPolicy
     instructions: int
+    machine_spec: Optional[MachineSpec] = None
 
     def scenario(self) -> Scenario:
         return Scenario.workload(self.benchmark, self.policy,
-                                 instructions=self.instructions)
+                                 instructions=self.instructions,
+                                 spec=self.machine_spec)
 
     def job(self) -> SimJob:
         """The content-hashed job this spec times (see repro.api)."""
@@ -165,6 +174,8 @@ class BenchHarness:
             "benchmark": spec.benchmark,
             "policy": spec.policy.value,
             "instructions": spec.instructions,
+            "machine_spec_digest": (spec.machine_spec.short_digest()
+                                    if spec.machine_spec else None),
             "job_key": job.key(),
             "cycles": cycles,
             "sim_instructions": result.instructions,

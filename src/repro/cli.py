@@ -6,7 +6,10 @@ Commands:
   the exit code counts protected-policy runs that still leaked.
 * ``matrix`` — Tables III/IV: every attack under every policy.
 * ``workload <name|suite> [--policy ...] [--instructions N]`` — run the
-  synthetic suite and print the per-run metrics.
+  synthetic suite and print the per-run metrics (``run`` is an alias
+  whose name defaults to ``suite``).
+* ``specs [name]`` — list the registered hardware presets, or show one
+  spec's full tree, digest, and diff against the default machine.
 * ``figures [--benchmarks a,b,...] [--instructions N]`` — regenerate the
   performance figures (6-9, 11-16) as text tables or machine-readable
   JSON (``--format json``).
@@ -23,6 +26,14 @@ runs are reused from the persistent result cache (``--cache-dir``,
 disable with ``--no-cache``) across invocations.  Attack and workload
 name choices derive from the component registries
 (:mod:`repro.api.registry`).
+
+The simulation commands (and ``bench``) also take the hardware axis:
+``--preset <name>`` starts from a registered
+:class:`~repro.spec.MachineSpec` and ``--set key=value`` (repeatable)
+derives dotted-path overrides, e.g.::
+
+    repro run mcf --preset little-core --set core.rob_entries=96
+    repro matrix --set safespec.sizing=performance
 """
 
 from __future__ import annotations
@@ -43,6 +54,8 @@ from repro.errors import ReproError
 from repro.exec.executor import stderr_progress
 from repro.exec.job import SCHEMA_VERSION
 from repro.hwmodel.overhead import render_table5
+from repro.spec import (DEFAULT_SPEC, MachineSpec, derive_from_strings,
+                        get_spec, spec_description, spec_names)
 from repro.workloads import suite_names
 
 _POLICIES = {p.value: p for p in CommitPolicy}
@@ -68,6 +81,33 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
 
 
+def _add_spec_options(parser: argparse.ArgumentParser) -> None:
+    """Hardware-shape flags shared by the simulation commands."""
+    parser.add_argument("--preset", choices=spec_names(), default=None,
+                        metavar="NAME",
+                        help="start from a registered MachineSpec preset "
+                             f"(see `repro specs`; e.g. {DEFAULT_SPEC})")
+    parser.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE", dest="set_overrides",
+                        help="override one spec field by dotted path "
+                             "(repeatable), e.g. --set core.rob_entries=96")
+
+
+def _resolve_spec(args: argparse.Namespace) -> Optional[MachineSpec]:
+    """The MachineSpec the spec flags describe (None = legacy default).
+
+    With neither ``--preset`` nor ``--set`` the command runs exactly
+    the spec-less job it always has (same cache keys); ``--set`` alone
+    derives from the default machine.
+    """
+    if args.preset is None and not args.set_overrides:
+        return None
+    spec = get_spec(args.preset) if args.preset else MachineSpec()
+    if args.set_overrides:
+        spec = derive_from_strings(spec, args.set_overrides)
+    return spec
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -84,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--format", choices=["text", "json"],
                         default="text")
     _add_exec_options(attack)
+    _add_spec_options(attack)
 
     matrix = sub.add_parser("matrix",
                             help="run every attack under every policy "
@@ -91,16 +132,27 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--format", choices=["text", "json"],
                         default="text")
     _add_exec_options(matrix)
+    _add_spec_options(matrix)
 
-    workload = sub.add_parser("workload",
-                              help="run a synthetic benchmark")
-    workload.add_argument("name", help="benchmark name or 'suite'")
-    workload.add_argument("--policy", type=_parse_policy,
-                          default=CommitPolicy.BASELINE)
-    workload.add_argument("--instructions", type=int, default=10_000)
-    workload.add_argument("--format", choices=["text", "json"],
-                          default="text")
-    _add_exec_options(workload)
+    # ``workload`` requires a name; ``run`` is the same command with the
+    # name defaulting to the whole suite.
+    for command, name_kwargs in (
+            ("workload", {}),
+            ("run", {"nargs": "?", "default": "suite"})):
+        workload = sub.add_parser(
+            command,
+            help="run a synthetic benchmark" if command == "workload"
+                 else "run benchmarks (alias of workload; defaults to "
+                      "the whole suite)")
+        workload.add_argument("name", help="benchmark name or 'suite'",
+                              **name_kwargs)
+        workload.add_argument("--policy", type=_parse_policy,
+                              default=CommitPolicy.BASELINE)
+        workload.add_argument("--instructions", type=int, default=10_000)
+        workload.add_argument("--format", choices=["text", "json"],
+                              default="text")
+        _add_exec_options(workload)
+        _add_spec_options(workload)
 
     figures = sub.add_parser("figures",
                              help="regenerate the performance figures")
@@ -111,6 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--format", choices=["text", "json"],
                          default="text")
     _add_exec_options(figures)
+    _add_spec_options(figures)
+
+    specs = sub.add_parser(
+        "specs", help="list or show MachineSpec hardware presets")
+    specs.add_argument("name", nargs="?", default=None,
+                       help="preset to show in full (omit to list)")
+    specs.add_argument("--set", action="append", default=[],
+                       metavar="KEY=VALUE", dest="set_overrides",
+                       help="preview dotted-path overrides applied to "
+                            "the shown preset")
+    specs.add_argument("--format", choices=["text", "json"],
+                       default="text")
 
     bench = sub.add_parser(
         "bench",
@@ -137,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not read/write the on-disk result cache "
                             "for accounting")
     bench.add_argument("--cache-dir", default=None, metavar="DIR")
+    _add_spec_options(bench)
 
     sub.add_parser("table5", help="hardware overhead table (Table V)")
 
@@ -180,7 +245,9 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             print(attack_result_from_sim(result)))
     else:
         session = _make_session(args)
-    scenarios = [Scenario.attack(name, policy, secret=args.secret)
+    spec = _resolve_spec(args)
+    scenarios = [Scenario.attack(name, policy, secret=args.secret,
+                                 spec=spec)
                  for name in names for policy in policies]
     results = session.run(scenarios)
     failures = 0
@@ -219,7 +286,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
     session = _make_session(args)
-    matrix = session.matrix()
+    matrix = session.matrix(spec=_resolve_spec(args))
     if args.format == "json":
         payload = {
             "schema": SCHEMA_VERSION,
@@ -240,9 +307,10 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 def _cmd_workload(args: argparse.Namespace) -> int:
     names = suite_names() if args.name == "suite" else [args.name]
     session = _make_session(args)
+    spec = _resolve_spec(args)
     results = session.run(
         [Scenario.workload(name, args.policy,
-                           instructions=args.instructions)
+                           instructions=args.instructions, spec=spec)
          for name in names])
     if args.format == "json":
         payload = {
@@ -278,7 +346,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                   else None)
     session = _make_session(args)
     figures = session.figures(benchmarks=benchmarks,
-                              instructions=args.instructions)
+                              instructions=args.instructions,
+                              spec=_resolve_spec(args))
     if args.format == "json":
         payload = {
             "schema": SCHEMA_VERSION,
@@ -308,6 +377,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     harness = BenchHarness(warmup=args.warmup, repeats=args.repeats,
                            cache=cache)
     specs = QUICK_SPECS if args.quick else FULL_SPECS
+    machine_spec = _resolve_spec(args)
+    if machine_spec is not None:
+        # Time the same workload set on the requested hardware shape.
+        # The job keys change with the shape, so the comparator marks
+        # baseline rows stale instead of gating across machines.
+        import dataclasses
+
+        specs = tuple(dataclasses.replace(s, machine_spec=machine_spec)
+                      for s in specs)
 
     def progress(done, total, spec, row):
         print(f"[{done}/{total}] {spec.name}: "
@@ -336,6 +414,59 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_specs(args: argparse.Namespace) -> int:
+    default = get_spec(DEFAULT_SPEC)
+    if args.name is None:
+        if args.set_overrides:
+            print("error: --set requires a preset name to apply to",
+                  file=sys.stderr)
+            return 1
+        if args.format == "json":
+            payload = {
+                "schema": SCHEMA_VERSION,
+                "specs": [{"name": name,
+                           "digest": get_spec(name).digest(),
+                           "description": spec_description(name)}
+                          for name in spec_names()],
+            }
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            header = f"{'preset':18s} {'digest':12s} description"
+            print(header)
+            print("-" * len(header))
+            for name in spec_names():
+                print(f"{name:18s} {get_spec(name).short_digest():12s} "
+                      f"{spec_description(name)}")
+        return 0
+    spec = get_spec(args.name)
+    if args.set_overrides:
+        spec = derive_from_strings(spec, args.set_overrides)
+    if args.format == "json":
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "name": args.name,
+            "digest": spec.digest(),
+            "description": spec_description(args.name),
+            "overrides": list(args.set_overrides),
+            "spec": spec.to_dict(),
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(f"{args.name}: {spec_description(args.name)}")
+        print(f"digest: {spec.digest()}")
+        print(json.dumps(spec.to_dict(), indent=2))
+        delta = default.diff(spec)
+        if delta:
+            print(f"diff vs {DEFAULT_SPEC} (default -> this):")
+            for line in delta.splitlines():
+                print(f"  {line}")
+        else:
+            print(f"identical to the default ({DEFAULT_SPEC})")
+    return 0
+
+
 def _cmd_table5(_args: argparse.Namespace) -> int:
     print(render_table5())
     return 0
@@ -358,7 +489,9 @@ _COMMANDS = {
     "attack": _cmd_attack,
     "matrix": _cmd_matrix,
     "workload": _cmd_workload,
+    "run": _cmd_workload,
     "figures": _cmd_figures,
+    "specs": _cmd_specs,
     "bench": _cmd_bench,
     "table5": _cmd_table5,
     "asm": _cmd_asm,

@@ -20,7 +20,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
 
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig
@@ -29,10 +29,16 @@ from repro.memory.hierarchy import HierarchyConfig
 from repro.pipeline.config import CoreConfig
 from repro.statistics import Histogram, ratio
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.spec import MachineSpec
+
 # Bump whenever the result schema or simulator semantics change in a way
 # that invalidates cached results; the cache namespaces entries by it.
 # v2: the per-kind ``secret`` field became the generic ``params`` dict.
-SCHEMA_VERSION = 2
+# v3: jobs may carry a full MachineSpec (dict + digest) in ``params``,
+#     so the cache distinguishes hardware shapes (predictor, BTB, and
+#     spec-described configs included).
+SCHEMA_VERSION = 3
 
 # Single source of truth for the per-run budget; the workload suite
 # re-exports it (suite imports this module, never the reverse).
@@ -262,15 +268,27 @@ def workload_job(benchmark: str, policy: CommitPolicy,
                  instructions: int = DEFAULT_INSTRUCTION_BUDGET,
                  core_config: Optional[CoreConfig] = None,
                  hierarchy_config: Optional[HierarchyConfig] = None,
-                 safespec_config: Optional[SafeSpecConfig] = None) -> SimJob:
-    """A job running one suite benchmark under one policy."""
+                 safespec_config: Optional[SafeSpecConfig] = None,
+                 spec: Optional["MachineSpec"] = None) -> SimJob:
+    """A job running one suite benchmark under one policy.
+
+    ``spec`` (a :class:`~repro.spec.MachineSpec`) is the declarative
+    hardware axis: its dict + digest land in ``params`` and flow into
+    the job hash.  It is mutually exclusive with the loose per-config
+    overrides.
+    """
+    ensure_single_config_style(spec, core_config, hierarchy_config,
+                               safespec_config)
     return SimJob(kind=WORKLOAD, target=benchmark, policy=policy,
-                  instructions=instructions, core_config=core_config,
+                  instructions=instructions,
+                  params=spec_params(spec),
+                  core_config=core_config,
                   hierarchy_config=hierarchy_config,
                   safespec_config=safespec_config)
 
 
-def attack_job(name: str, policy: CommitPolicy, secret: int = 42) -> SimJob:
+def attack_job(name: str, policy: CommitPolicy, secret: int = 42,
+               spec: Optional["MachineSpec"] = None) -> SimJob:
     """A job running one attack PoC under one policy.
 
     Each attack run builds and mistrains its own machines from the spec
@@ -280,7 +298,34 @@ def attack_job(name: str, policy: CommitPolicy, secret: int = 42) -> SimJob:
     ``serial_group`` to stay on one worker.
     """
     return SimJob(kind=ATTACK, target=name, policy=policy,
-                  params={"secret": secret})
+                  params={"secret": secret, **spec_params(spec)})
+
+
+def ensure_single_config_style(spec: Optional["MachineSpec"],
+                               core_config: Any, hierarchy_config: Any,
+                               safespec_config: Any) -> None:
+    """The one guard rejecting mixed config styles (spec + loose kwargs).
+
+    Shared by the job builders, :class:`~repro.api.scenario.Scenario`
+    and :func:`~repro.workloads.suite.run_workload` so the rule (and
+    its message) can never diverge between layers.
+    """
+    if spec is not None and (core_config is not None
+                             or hierarchy_config is not None
+                             or safespec_config is not None):
+        raise ConfigError(
+            "pass either a MachineSpec or loose config overrides, not "
+            "both (fold overrides in with spec.derive(...))")
+
+
+def spec_params(spec: Optional["MachineSpec"]) -> Dict[str, Any]:
+    """The params entries lowering ``spec`` into a job (empty if None).
+
+    The single place a MachineSpec becomes job params — every
+    spec-carrying job, whether built here or by ``Scenario.job()``,
+    gets identical keys (and therefore identical cache hashing).
+    """
+    return {} if spec is None else spec.job_params()
 
 
 # ---------------------------------------------------------------------------

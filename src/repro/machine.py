@@ -14,21 +14,27 @@ core, which is the setting mistraining attacks (Spectre) require::
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Optional
 
 from repro.api.registry import PREDICTORS
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig, SafeSpecEngine
-from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.btb import BranchTargetBuffer, BTBConfig
 from repro.isa.program import Program
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.memory.paging import PagePermissions, PageTable, PrivilegeLevel
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import Core, RunResult
+from repro.spec import MachineSpec
 
 
 class Machine:
     """A simulated CPU plus memory system with a selectable commit policy.
+
+    Prefer describing a machine shape as a
+    :class:`~repro.spec.MachineSpec` and building via :meth:`from_spec`;
+    the loose keyword arguments remain for direct construction.
 
     Arguments:
         policy: ``BASELINE`` (insecure), ``WFB`` or ``WFC``.
@@ -37,6 +43,7 @@ class Machine:
         safespec_config: full SafeSpec configuration; when given, its
             ``policy`` overrides the ``policy`` argument.  Use this to
             select sizing modes / full policies for the TSA experiments.
+        btb_config: branch-target-buffer geometry.
     """
 
     def __init__(self, policy: CommitPolicy = CommitPolicy.BASELINE,
@@ -44,14 +51,19 @@ class Machine:
                  hierarchy_config: Optional[HierarchyConfig] = None,
                  safespec_config: Optional[SafeSpecConfig] = None,
                  page_table: Optional[PageTable] = None,
-                 predictor: str = "bimodal") -> None:
+                 predictor: str = "bimodal",
+                 btb_config: Optional[BTBConfig] = None) -> None:
         self.core_config = core_config or CoreConfig()
+        # The machine is the single owner of the page table: the
+        # hierarchy (and anything below it) always receives this one
+        # explicitly and never defaults its own.
         self.page_table = page_table or PageTable()
-        self.hierarchy = MemoryHierarchy(hierarchy_config, self.page_table)
+        self.hierarchy = MemoryHierarchy(hierarchy_config,
+                                         page_table=self.page_table)
         # Registry dispatch: the lookup error lists every registered
         # predictor (SafeSpec makes no assumption on the predictor).
         self.predictor = PREDICTORS.create(predictor)
-        self.btb = BranchTargetBuffer()
+        self.btb = BranchTargetBuffer(btb_config)
         if safespec_config is not None:
             self.policy = safespec_config.policy
         else:
@@ -65,6 +77,37 @@ class Machine:
                 rob_entries=self.core_config.rob_entries)
         else:
             self.engine = None
+
+    @classmethod
+    def from_spec(cls, spec: Optional[MachineSpec] = None, *,
+                  policy: Optional[CommitPolicy] = None,
+                  page_table: Optional[PageTable] = None) -> "Machine":
+        """Build a machine from a declarative hardware description.
+
+        ``spec`` defaults to the Table I/II machine (``MachineSpec()``).
+        ``policy`` is the per-run axis: when given it wins over the
+        policy recorded in ``spec.safespec`` (the spec describes shadow
+        *sizing*; the sweep decides the commit policy), and a
+        non-shadow policy simply drops the SafeSpec section.  When
+        ``policy`` is omitted it comes from ``spec.safespec`` or
+        defaults to ``BASELINE``.
+        """
+        spec = spec if spec is not None else MachineSpec()
+        safespec = spec.safespec
+        if policy is None:
+            policy = (safespec.policy if safespec is not None
+                      else CommitPolicy.BASELINE)
+        if not policy.uses_shadow:
+            safespec = None
+        elif safespec is not None and safespec.policy is not policy:
+            safespec = dataclasses.replace(safespec, policy=policy)
+        return cls(policy=policy,
+                   core_config=spec.core,
+                   hierarchy_config=spec.hierarchy,
+                   safespec_config=safespec,
+                   page_table=page_table,
+                   predictor=spec.predictor,
+                   btb_config=spec.btb)
 
     # ------------------------------------------------------------------
     # memory setup helpers

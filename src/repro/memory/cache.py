@@ -44,13 +44,19 @@ class CacheConfig:
 
     def __post_init__(self) -> None:
         if not _is_power_of_two(self.line_bytes):
-            raise ConfigError(f"{self.name}: line size must be a power of two")
+            raise ConfigError(
+                f"{self.name}: line size must be a power of two, "
+                f"got {self.line_bytes}")
         if self.size_bytes <= 0 or self.size_bytes % self.line_bytes:
             raise ConfigError(
-                f"{self.name}: size {self.size_bytes} not a multiple of the "
-                f"line size {self.line_bytes}")
+                f"{self.name}: size {self.size_bytes} not a positive "
+                f"multiple of the line size {self.line_bytes}")
         lines = self.size_bytes // self.line_bytes
-        if self.associativity <= 0 or lines % self.associativity:
+        if self.associativity <= 0:
+            raise ConfigError(
+                f"{self.name}: associativity must be >= 1, "
+                f"got {self.associativity}")
+        if lines % self.associativity:
             raise ConfigError(
                 f"{self.name}: {lines} lines not divisible by "
                 f"associativity {self.associativity}")

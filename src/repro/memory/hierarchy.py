@@ -121,15 +121,31 @@ class HierarchyConfig:
                  self.l2.line_bytes, self.l3.line_bytes}
         if len(lines) != 1:
             raise ConfigError("all cache levels must share one line size")
+        if self.memory_latency < 1:
+            raise ConfigError(
+                f"memory latency must be >= 1 cycle, "
+                f"got {self.memory_latency}")
 
 
 class MemoryHierarchy:
-    """L1I/L1D + unified inclusive L2/L3 + TLBs + page walker + DRAM."""
+    """L1I/L1D + unified inclusive L2/L3 + TLBs + page walker + DRAM.
+
+    The hierarchy never owns a default page table:
+    :class:`~repro.machine.Machine` is the single owner and passes its
+    table down explicitly (two independent defaults previously risked a
+    machine and its hierarchy silently translating through different
+    tables).  Standalone construction must supply one.
+    """
 
     def __init__(self, config: Optional[HierarchyConfig] = None,
                  page_table: Optional[PageTable] = None) -> None:
+        if page_table is None:
+            raise ConfigError(
+                "MemoryHierarchy requires an explicit PageTable; "
+                "Machine owns the default (pass machine.page_table, or "
+                "construct a PageTable yourself for standalone use)")
         self.config = config or HierarchyConfig()
-        self.page_table = page_table or PageTable()
+        self.page_table = page_table
         self.memory = MainMemory(self.config.memory_latency)
         self.l1i = Cache(self.config.l1i)
         self.l1d = Cache(self.config.l1d)

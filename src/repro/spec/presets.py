@@ -1,0 +1,134 @@
+"""The ``SPECS`` preset registry: named, ready-made machine shapes.
+
+Follows the component-registry pattern (:mod:`repro.api.registry`):
+each preset is one decorated factory in this module, and everything
+downstream — CLI ``--preset`` choices, ``repro specs`` listings, sweep
+``specs=[...]`` axes — derives from the registry.  Registration is
+eager (a handful of frozen dataclasses), so importing :mod:`repro.spec`
+always yields the full catalogue.
+
+The ``skylake-table1`` preset is the default machine: byte-identical to
+what ``Machine()`` has always built from the paper's Table I/II.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.api.registry import Registry
+from repro.core.policy import CommitPolicy
+from repro.core.safespec import SafeSpecConfig, SizingMode
+from repro.core.shadow import FullPolicy
+from repro.frontend.btb import BTBConfig
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.memory.tlb import TLBConfig
+from repro.pipeline.config import CoreConfig
+from repro.spec.machine_spec import MachineSpec
+
+SPECS = Registry("spec")
+
+# The preset every entry point defaults to.
+DEFAULT_SPEC = "skylake-table1"
+
+
+def register_spec(name: str, *, description: str = "",
+                  **metadata: Any) -> Callable[[Any], Any]:
+    """Register the decorated zero-arg factory's spec under ``name``.
+
+    The factory runs once at registration; the registry stores the
+    (immutable) :class:`MachineSpec` value with ``description`` and any
+    extra metadata attached.
+    """
+    def decorator(factory: Callable[[], MachineSpec]) -> Any:
+        SPECS.add(name, factory(), description=description, **metadata)
+        return factory
+    return decorator
+
+
+def get_spec(name: str) -> MachineSpec:
+    """The preset registered under ``name`` (ConfigError when unknown)."""
+    return SPECS.get(name)
+
+
+def spec_names() -> List[str]:
+    """Registered preset names, in registration order."""
+    return SPECS.names()
+
+
+def spec_description(name: str) -> str:
+    """The one-line description a preset was registered with."""
+    return SPECS.metadata(name).get("description", "")
+
+
+# ---------------------------------------------------------------------------
+# built-in presets
+# ---------------------------------------------------------------------------
+
+@register_spec(DEFAULT_SPEC,
+               description="Paper Table I/II Skylake-like machine "
+                           "(the default)")
+def _skylake_table1() -> MachineSpec:
+    return MachineSpec()
+
+
+@register_spec("little-core",
+               description="In-order-ish little core: 2-wide, 64-entry "
+                           "ROB, halved caches and TLBs")
+def _little_core() -> MachineSpec:
+    return MachineSpec(
+        core=CoreConfig(
+            fetch_width=2, issue_width=2, commit_width=2,
+            rob_entries=64, iq_entries=32,
+            ldq_entries=24, stq_entries=16,
+            int_alus=2, mul_units=1, load_ports=1, store_ports=1,
+            branch_units=1),
+        hierarchy=HierarchyConfig(
+            l1i=CacheConfig("L1I", 16 * 1024, 4, 64, 3),
+            l1d=CacheConfig("L1D", 16 * 1024, 4, 64, 3),
+            l2=CacheConfig("L2", 128 * 1024, 4, 64, 12),
+            l3=CacheConfig("L3", 1024 * 1024, 8, 64, 40),
+            itlb=TLBConfig("iTLB", 32, 1),
+            dtlb=TLBConfig("dTLB", 32, 1)),
+        btb=BTBConfig(entries=256, index_bits=8))
+
+
+@register_spec("big-core",
+               description="Aggressive big core: 8-wide, 320-entry ROB, "
+                           "doubled caches, 1K-entry BTB")
+def _big_core() -> MachineSpec:
+    return MachineSpec(
+        core=CoreConfig(
+            fetch_width=8, issue_width=8, commit_width=8,
+            rob_entries=320, iq_entries=128,
+            ldq_entries=128, stq_entries=96,
+            int_alus=6, mul_units=2, load_ports=3, store_ports=2,
+            branch_units=3),
+        hierarchy=HierarchyConfig(
+            l1i=CacheConfig("L1I", 64 * 1024, 8, 64, 4),
+            l1d=CacheConfig("L1D", 64 * 1024, 8, 64, 4),
+            l2=CacheConfig("L2", 512 * 1024, 8, 64, 12),
+            l3=CacheConfig("L3", 8 * 1024 * 1024, 16, 64, 48),
+            itlb=TLBConfig("iTLB", 128, 1),
+            dtlb=TLBConfig("dTLB", 128, 1)),
+        btb=BTBConfig(entries=1024, index_bits=10))
+
+
+@register_spec("safespec-secure",
+               description="SafeSpec worst-case (SECURE) shadow sizing — "
+                           "closes the TSA channel (paper Section VII)")
+def _safespec_secure() -> MachineSpec:
+    return MachineSpec(
+        safespec=SafeSpecConfig(policy=CommitPolicy.WFC,
+                                sizing=SizingMode.SECURE,
+                                full_policy=FullPolicy.DROP))
+
+
+@register_spec("safespec-p9999",
+               description="SafeSpec unsafe p99.99 (PERFORMANCE) shadow "
+                           "sizing — contention, hence TSAs, possible")
+def _safespec_p9999() -> MachineSpec:
+    return MachineSpec(
+        safespec=SafeSpecConfig(policy=CommitPolicy.WFC,
+                                sizing=SizingMode.PERFORMANCE,
+                                full_policy=FullPolicy.DROP))

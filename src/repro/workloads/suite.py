@@ -8,11 +8,12 @@ from typing import Dict, Optional, Union
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig
 from repro.exec.job import (DEFAULT_INSTRUCTION_BUDGET, FigureMetrics,
-                            SimJob, SimResult)
+                            SimJob, SimResult, ensure_single_config_style)
 from repro.machine import Machine
 from repro.memory.hierarchy import HierarchyConfig
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import RunResult
+from repro.spec import MachineSpec, machine_spec_from_params
 from repro.statistics import Histogram
 from repro.workloads.generator import generate_program, WorkloadProgram
 from repro.workloads.profiles import WorkloadProfile, profile_by_name
@@ -55,19 +56,27 @@ def run_workload(workload: Union[str, WorkloadProfile, WorkloadProgram],
                  safespec_config: Optional[SafeSpecConfig] = None,
                  core_config: Optional[CoreConfig] = None,
                  hierarchy_config: Optional[HierarchyConfig] = None,
+                 spec: Optional[MachineSpec] = None,
                  ) -> WorkloadRun:
     """Run one workload on a fresh machine under the given policy.
 
     ``workload`` may be a suite benchmark name, a profile, or an
-    already-generated :class:`WorkloadProgram`.
+    already-generated :class:`WorkloadProgram`.  The machine shape is
+    either a declarative ``spec`` (:class:`~repro.spec.MachineSpec`) or
+    the loose per-config overrides — never both.
     """
     if isinstance(workload, str):
         workload = profile_by_name(workload)
     if isinstance(workload, WorkloadProfile):
         workload = generate_program(workload)
-    machine = Machine(policy=policy, core_config=core_config,
-                      hierarchy_config=hierarchy_config,
-                      safespec_config=safespec_config)
+    ensure_single_config_style(spec, core_config, hierarchy_config,
+                               safespec_config)
+    if spec is not None:
+        machine = Machine.from_spec(spec, policy=policy)
+    else:
+        machine = Machine(policy=policy, core_config=core_config,
+                          hierarchy_config=hierarchy_config,
+                          safespec_config=safespec_config)
     workload.apply_memory_image(machine)
     result = machine.run(workload.program, max_instructions=instructions)
 
@@ -98,6 +107,7 @@ def run_workload_job(job: SimJob) -> SimResult:
         safespec_config=job.safespec_config,
         core_config=job.core_config,
         hierarchy_config=job.hierarchy_config,
+        spec=machine_spec_from_params(job.params),
     )
     return SimResult(
         job_key=job.key(),

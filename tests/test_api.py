@@ -189,9 +189,10 @@ class TestScenario:
         assert len({first, twin}) == 1
 
 
-class TestSchemaV2:
+class TestSchemaV3:
     def test_schema_bumped(self):
-        assert SCHEMA_VERSION == 2
+        # v3: jobs may carry a MachineSpec (dict + digest) in params.
+        assert SCHEMA_VERSION == 3
 
     def test_spec_is_kind_uniform(self):
         # v1 special-cased a per-kind ``secret`` column; v2 carries one
@@ -204,11 +205,11 @@ class TestSchemaV2:
         assert workload_spec["params"] == {}
         assert attack_spec["params"] == {"secret": 42}
 
-    def test_v1_entries_are_not_served_for_v2_jobs(self, tmp_path):
+    def test_old_entries_are_not_served_for_new_jobs(self, tmp_path):
         job = workload_job("namd", BASELINE, instructions=BUDGET)
         cache = ResultCache(tmp_path)
         assert cache.directory == tmp_path / f"v{SCHEMA_VERSION}"
-        # A v1-era entry — same key file name, old namespace directory.
+        # An old-era entry — same key file name, old namespace directory.
         v1_dir = tmp_path / "v1"
         v1_dir.mkdir()
         result = Session(cache=False).run([job])[0]
@@ -227,7 +228,7 @@ class TestSchemaV2:
         assert len({job, twin}) == 1
         assert job != attack_job("spectre_v1", WFC, secret=8)
 
-    def test_session_run_caches_under_v2(self, tmp_path):
+    def test_session_run_caches_under_current_schema(self, tmp_path):
         job = workload_job("namd", BASELINE, instructions=BUDGET)
         session = Session(cache_dir=tmp_path)
         session.run([job])
@@ -281,7 +282,9 @@ class TestSweep:
             Sweep(benchmarks=["namd"], policies=[])
         with pytest.raises(ConfigError, match="unknown workload"):
             Sweep(benchmarks=["spacetruck"], policies=[BASELINE])
-        with pytest.raises(ConfigError, match="unknown config axes"):
+        # A variant key that is neither a legacy config axis nor a
+        # valid MachineSpec derive path fails before any simulation.
+        with pytest.raises(ConfigError, match="unknown spec path"):
             Sweep(benchmarks=["namd"], policies=[BASELINE],
                   variants={"bad": {"rob_entries": 96}})
         # An explicitly empty variants axis is a degenerate grid, not

@@ -117,7 +117,9 @@ class TestDetectsTsaTrojan:
                 full_policy=FullPolicy.DROP,
                 dcache_entries=256, icache_entries=256,
                 itlb_entries=64, dtlb_entries=4)
-            _run_tsa(CommitPolicy.WFC, 1, config)
+            from repro.spec import MachineSpec
+            _run_tsa(CommitPolicy.WFC, 1,
+                     MachineSpec().derive(safespec=config))
         finally:
             tsa_module.Machine = original_machine_cls
         assert any(event_list for event_list in events), \

@@ -81,6 +81,16 @@ class TestSweepAblation:
         assert "rob224" in out and "wfc" in out
 
 
+class TestShadowSizingSweep:
+    def test_prints_sizing_table(self, capsys):
+        load_example("shadow_sizing_sweep").main()
+        out = capsys.readouterr().out
+        assert "p99.99 shadow occupancy" in out
+        # 2 benchmarks x 3 sizing modes
+        for sizing in ("secure", "p9999", "tiny"):
+            assert out.count(sizing) >= 2
+
+
 @pytest.mark.slow
 class TestSecurityMatrixExample:
     def test_matrix_prints(self, capsys):

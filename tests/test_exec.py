@@ -271,7 +271,7 @@ class TestAttackExitCode:
     def test_protected_leak_counts_as_failure(self, monkeypatch, capsys):
         from repro.attacks.runner import AttackResult
 
-        def leaky(name, policy, secret):
+        def leaky(name, policy, secret, spec=None):
             return AttackResult(attack=name, policy=policy, secret=secret,
                                 leaked=secret)
 
