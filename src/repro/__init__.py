@@ -9,6 +9,8 @@ Public API:
 * :mod:`repro.isa` — the instruction set and program builder.
 * :mod:`repro.attacks` — Spectre/Meltdown/TSA proof-of-concept attacks.
 * :mod:`repro.workloads` — the synthetic SPEC CPU2017-like suite.
+* :mod:`repro.verify` — reference ISA oracle, program fuzzer, and the
+  differential/invariant verification harness (``repro verify``).
 * :mod:`repro.analysis` — experiment runner and figure/table metrics.
 * :mod:`repro.hwmodel` — CACTI-like hardware overhead model (Table V).
 """

@@ -163,6 +163,34 @@ class Session:
         results = self.run(sweep.scenarios())
         return SweepResult(points=points, results=results)
 
+    def verify(self, count: int = 10, seed: int = 0,
+               policies: Optional[Sequence[CommitPolicy]] = None,
+               profile: str = "mixed",
+               instructions: int = DEFAULT_INSTRUCTION_BUDGET,
+               spec: Optional["MachineSpec"] = None):
+        """Differentially verify ``count`` fuzzed programs (seeds
+        ``seed .. seed+count-1``) against the in-order reference oracle
+        under every policy, plus the SafeSpec leakage invariants.
+
+        Cases are ordinary jobs: a parallel session fans them out, and
+        unchanged (profile, seed, policy, spec) verdicts replay from
+        the result cache.  Returns a
+        :class:`~repro.verify.harness.VerifyReport`.
+        """
+        from repro.verify.harness import (VerifyReport, verdict_from_sim,
+                                          verify_job)
+
+        if count < 1:
+            raise ConfigError("verify needs count >= 1")
+        chosen = list(policies) if policies else list(MATRIX_POLICIES)
+        jobs = [verify_job(s, policy, profile=profile,
+                           instructions=instructions, spec=spec)
+                for s in range(seed, seed + count)
+                for policy in chosen]
+        results = self.executor.run(jobs)
+        return VerifyReport(
+            verdicts=[verdict_from_sim(result) for result in results])
+
     # -- cache introspection -----------------------------------------------
 
     @property

@@ -13,6 +13,11 @@ Commands:
 * ``figures [--benchmarks a,b,...] [--instructions N]`` — regenerate the
   performance figures (6-9, 11-16) as text tables or machine-readable
   JSON (``--format json``).
+* ``verify [--count N] [--seed N] [--profile NAME]`` — differentially
+  verify fuzzed programs against the in-order reference oracle under
+  every policy (``repro.verify``), checking the SafeSpec leakage
+  invariants; the exit code counts failing cases.  Reproduce one
+  failing case with ``repro verify --seed N --count 1 --format json``.
 * ``bench [--quick]`` — time the simulator (``repro.bench``), emit a
   schema-versioned ``BENCH_<rev>.json`` and gate against the committed
   ``benchmarks/baseline.json`` (exit 1 on a >10% slowdown).
@@ -20,7 +25,8 @@ Commands:
 * ``asm <file>`` — assemble a text program and print its disassembly.
 
 Every simulation-batch command (``attack``, ``matrix``, ``workload``,
-``figures``) is a thin client of :class:`repro.api.session.Session`:
+``figures``, ``verify``) is a thin client of
+:class:`repro.api.session.Session`:
 ``--jobs N`` fans the batch out over N worker processes, and completed
 runs are reused from the persistent result cache (``--cache-dir``,
 disable with ``--no-cache``) across invocations.  Attack and workload
@@ -175,6 +181,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "the shown preset")
     specs.add_argument("--format", choices=["text", "json"],
                        default="text")
+
+    verify = sub.add_parser(
+        "verify",
+        help="differentially verify fuzzed programs against the "
+             "reference oracle (repro.verify)")
+    verify.add_argument("--count", type=int, default=10, metavar="N",
+                        help="number of fuzz seeds to run (default: 10)")
+    verify.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="first fuzz seed (default: 0)")
+    verify.add_argument("--profile", default="mixed", metavar="NAME",
+                        help="fuzz profile (mixed/alu/memory/control/"
+                             "faulty; default: mixed)")
+    verify.add_argument("--policy", type=_parse_policy,
+                        action="append", default=None,
+                        help="baseline / wfb / wfc (repeatable; "
+                             "default: all three)")
+    verify.add_argument("--instructions", type=int, default=20_000,
+                        metavar="N",
+                        help="per-case instruction budget")
+    verify.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    _add_exec_options(verify)
+    _add_spec_options(verify)
 
     bench = sub.add_parser(
         "bench",
@@ -365,6 +394,35 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.exec.job import SCHEMA_VERSION as _schema
+    from repro.verify import fuzz_profile
+
+    fuzz_profile(args.profile)      # unknown profiles fail before any run
+    session = _make_session(args)
+    report = session.verify(
+        count=args.count, seed=args.seed,
+        policies=args.policy, profile=args.profile,
+        instructions=args.instructions, spec=_resolve_spec(args))
+    if args.format == "json":
+        # report.to_payload() contributes fuzz_version and the verdicts.
+        payload = {
+            "schema": _schema,
+            "profile": args.profile,
+            "seed": args.seed,
+            "count": args.count,
+            **report.to_payload(),
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(report.render_text())
+    _report_cache(session)
+    # Clamped: a raw count would wrap modulo 256 at process exit (256
+    # failures would read as success).
+    return min(report.failures, 255)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
@@ -492,6 +550,7 @@ _COMMANDS = {
     "run": _cmd_workload,
     "figures": _cmd_figures,
     "specs": _cmd_specs,
+    "verify": _cmd_verify,
     "bench": _cmd_bench,
     "table5": _cmd_table5,
     "asm": _cmd_asm,

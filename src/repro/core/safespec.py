@@ -138,6 +138,12 @@ class SafeSpecEngine:
         # owner seq -> entries, so commit/squash are O(owner's entries)
         self._entries_by_owner: Dict[int, List[_OwnedEntry]] = {}
         self._now = 0
+        # Leakage bookkeeping (read by repro.verify): a squashed micro-op
+        # whose shadow state was already promoted is committed-state
+        # leakage from a wrong path.  WFC can never produce one; WFB can
+        # only via the fault hole the paper describes (Section VI).
+        self.promotions = 0
+        self.promoted_then_squashed = 0
 
     def _resolve_sizes(self, ldq: int, stq: int, rob: int) -> Dict[str, int]:
         mode = self.config.sizing
@@ -229,6 +235,7 @@ class SafeSpecEngine:
                     self.hierarchy.install_translation(item.side, translation)
             item.structure.release_committed(item.entry)
         uop.promoted = True
+        self.promotions += len(owned)
         return len(owned)
 
     def annul(self, uop: "DynUop") -> int:
@@ -252,6 +259,8 @@ class SafeSpecEngine:
         that is exactly the WFB/Meltdown hole the paper describes, and it
         is preserved faithfully here: promoted state stays in the caches.
         """
+        if uop.promoted:
+            self.promoted_then_squashed += 1
         self.annul(uop)
 
     def on_branch_resolved(self, uop: "DynUop") -> None:
@@ -265,6 +274,34 @@ class SafeSpecEngine:
     def sample_occupancy(self) -> None:
         for structure in self._structures:
             structure.sample_occupancy()
+
+    # -- invariant surface ---------------------------------------------------
+
+    def invariant_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-structure accounting read by the verification harness.
+
+        For every shadow structure: accepted ``fills`` must equal
+        ``committed + annulled + residual`` at any quiescent point, and
+        after a run drains, ``residual`` must be zero — squashed
+        speculative state never lingers.  ``promoted_then_squashed``
+        (engine-wide) counts wrong-path micro-ops whose state reached
+        the committed structures before the squash.
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        for structure in self._structures:
+            stats[structure.name] = {
+                "fills": structure.stats.counter("fills").value,
+                "drops": structure.stats.counter("drops").value,
+                "blocks": structure.stats.counter("blocks").value,
+                "committed": structure.commit_count,
+                "annulled": structure.annul_count,
+                "residual": structure.occupancy(),
+            }
+        stats["engine"] = {
+            "promotions": self.promotions,
+            "promoted_then_squashed": self.promoted_then_squashed,
+        }
+        return stats
 
 
 class _OwnedEntry:

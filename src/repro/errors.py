@@ -23,6 +23,17 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent or unsupported state."""
 
 
+class OracleError(ReproError):
+    """The reference oracle cannot compute an architectural result.
+
+    Raised when a program uses a timing-dependent value (an ``rdtsc``
+    result) where the architectural outcome would depend on it — as an
+    address, a branch operand, a store value, or an indirect-jump
+    target.  The fuzzer never generates such programs; hitting this is
+    a generator bug, not a simulator divergence.
+    """
+
+
 class MemoryFault(ReproError):
     """An architectural memory fault (raised at commit time only).
 

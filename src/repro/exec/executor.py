@@ -24,7 +24,7 @@ from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
 from repro.exec.cache import NullCache, ResultCache
-from repro.exec.job import ATTACK, SimJob, SimResult
+from repro.exec.job import ATTACK, VERIFY, SimJob, SimResult
 
 # (completed count, total, job, result) -> None
 ProgressFn = Callable[[int, int, SimJob, SimResult], None]
@@ -40,6 +40,10 @@ def execute_job(job: SimJob) -> SimResult:
         from repro.attacks.runner import run_attack_job
 
         return run_attack_job(job)
+    if job.kind == VERIFY:
+        from repro.verify.harness import run_verify_job
+
+        return run_verify_job(job)
     from repro.workloads.suite import run_workload_job
 
     return run_workload_job(job)

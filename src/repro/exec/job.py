@@ -38,7 +38,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
 # v3: jobs may carry a full MachineSpec (dict + digest) in ``params``,
 #     so the cache distinguishes hardware shapes (predictor, BTB, and
 #     spec-described configs included).
-SCHEMA_VERSION = 3
+# v4: writeback-stage fix (a wrong-path branch resolving in the same
+#     batch as an older mispredicting branch could redirect fetch) —
+#     simulator semantics changed, invalidating cached results; the
+#     ``verify`` job kind also lands in this schema.
+SCHEMA_VERSION = 4
 
 # Single source of truth for the per-run budget; the workload suite
 # re-exports it (suite imports this module, never the reverse).
@@ -46,14 +50,19 @@ DEFAULT_INSTRUCTION_BUDGET = 20_000
 
 WORKLOAD = "workload"
 ATTACK = "attack"
+VERIFY = "verify"
+
+_JOB_KINDS = (WORKLOAD, ATTACK, VERIFY)
 
 
 @dataclass(frozen=True)
 class SimJob:
     """A content-hashable description of one simulation.
 
-    ``kind`` is ``"workload"`` (``target`` names a suite benchmark) or
-    ``"attack"`` (``target`` names a registered attack).  ``params``
+    ``kind`` is ``"workload"`` (``target`` names a suite benchmark),
+    ``"attack"`` (``target`` names a registered attack) or ``"verify"``
+    (``target`` names a fuzz case; see
+    :func:`repro.verify.harness.verify_job`).  ``params``
     carries kind-specific scenario data (an attack's planted ``secret``,
     future workload knobs) uniformly for every kind and flows into the
     job hash.  ``serial_group`` marks jobs that must not fan out to
@@ -75,10 +84,10 @@ class SimJob:
     serial_group: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in (WORKLOAD, ATTACK):
+        if self.kind not in _JOB_KINDS:
             raise ConfigError(
-                f"job kind must be {WORKLOAD!r} or {ATTACK!r}, "
-                f"got {self.kind!r}")
+                f"job kind must be one of {', '.join(map(repr, _JOB_KINDS))},"
+                f" got {self.kind!r}")
         if self.instructions < 1:
             raise ConfigError("instruction budget must be >= 1")
         # Own a plain-dict copy so a caller-held mapping can't mutate

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import AssemblyError
-from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
 
 
 class Program:
@@ -68,6 +68,34 @@ class Program:
     def code_bytes(self) -> int:
         """Size of the code image in bytes."""
         return len(self.instructions) * INSTRUCTION_BYTES
+
+    def to_source(self) -> str:
+        """Re-assembleable text for this program.
+
+        Unlike :meth:`disassemble` (a human-facing listing with virtual
+        addresses and ``@index`` branch targets), the output here is
+        valid :func:`~repro.isa.assembler.assemble` input: every branch
+        or jump target index is materialised as a generated ``L<index>``
+        label, so ``assemble(p.to_source(), p.code_base)`` reproduces
+        ``p.instructions`` exactly.
+        """
+        targets = sorted({inst.target for inst in self.instructions
+                          if inst.target is not None})
+        lines = []
+        for index, inst in enumerate(self.instructions):
+            if index in targets:
+                lines.append(f"L{index}:")
+            if inst.opcode == Opcode.BRANCH:
+                lines.append(f"b{inst.cond.value} r{inst.rs1}, "
+                             f"r{inst.rs2}, L{inst.target}")
+            elif inst.opcode == Opcode.JMP:
+                lines.append(f"jmp L{inst.target}")
+            else:
+                lines.append(str(inst))
+        # A target one past the last instruction still needs its label.
+        if targets and targets[-1] == len(self.instructions):
+            lines.append(f"L{targets[-1]}:")
+        return "\n".join(lines)
 
     def disassemble(self) -> str:
         """Human-readable listing (for debugging and docs)."""

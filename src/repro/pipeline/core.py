@@ -400,6 +400,12 @@ class Core:
                            and u.state is not UopState.SQUASHED]
         finishing.sort(key=lambda u: u.seq)
         for uop in finishing:
+            if uop.state is not UopState.ISSUED:
+                # Squashed mid-batch by an older mispredicting branch:
+                # it must neither finish, wake consumers, promote WFB
+                # state, nor — crucially — resolve as a branch, which
+                # would redirect fetch down its wrong path.
+                continue
             uop.state = UopState.DONE
             if uop.opcode is Opcode.FENCE:
                 self._inflight_fences -= 1
@@ -414,10 +420,6 @@ class Core:
                     self.engine.on_branch_resolved(uop)
             if uop.is_branch:
                 self._resolve_branch(uop)
-                if uop.state is UopState.SQUASHED:
-                    # a younger resolving branch was squashed by an older
-                    # mispredicting one in this same batch
-                    continue
 
     def _resolve_branch(self, uop: DynUop) -> None:
         self._n_branches += 1

@@ -1,0 +1,44 @@
+"""``repro.verify`` — reference oracle, program fuzzer, and the
+differential/invariant verification harness.
+
+* :class:`~repro.verify.oracle.ReferenceOracle` — an in-order,
+  cache-less interpreter producing the golden architectural state any
+  pipeline configuration must reproduce.
+* :func:`~repro.verify.fuzz.generate_fuzz_program` — seeded,
+  guaranteed-terminating random programs shaped by a
+  :class:`~repro.verify.fuzz.FuzzProfile`.
+* :func:`~repro.verify.harness.verify_case` /
+  :func:`~repro.verify.harness.run_verify_job` — the differential
+  check (machine vs oracle) plus the SafeSpec leakage invariants, as a
+  direct call or as a cacheable executor job.
+
+Entry points: ``Session.verify(count=..., seed=...)`` or the
+``repro verify`` CLI command.
+"""
+
+from repro.verify.fuzz import (FUZZ_FORMAT_VERSION, FUZZ_PROFILES,
+                               FuzzProfile, FuzzProgram, fuzz_profile,
+                               generate_fuzz_program)
+from repro.verify.harness import (VerifyReport, VerifyVerdict, run_reference,
+                                  run_verify_job, verdict_from_sim,
+                                  verify_case, verify_job)
+from repro.verify.oracle import (OracleFault, OracleResult, ReferenceOracle)
+
+__all__ = [
+    "FUZZ_FORMAT_VERSION",
+    "FUZZ_PROFILES",
+    "FuzzProfile",
+    "FuzzProgram",
+    "OracleFault",
+    "OracleResult",
+    "ReferenceOracle",
+    "VerifyReport",
+    "VerifyVerdict",
+    "fuzz_profile",
+    "generate_fuzz_program",
+    "run_reference",
+    "run_verify_job",
+    "verdict_from_sim",
+    "verify_case",
+    "verify_job",
+]

@@ -1,0 +1,310 @@
+"""Differential/invariant harness: pipeline vs oracle, plus leakage checks.
+
+One verification case is ``(profile, seed, policy, spec)``: the fuzzed
+program runs through the full out-of-order :class:`~repro.machine.Machine`
+under the given commit policy and hardware shape, and its final
+architectural state is compared field-by-field against the in-order
+:class:`~repro.verify.oracle.ReferenceOracle`.  On top of the
+equivalence check, the harness reads the SafeSpec engine's invariant
+surface (:meth:`~repro.core.safespec.SafeSpecEngine.invariant_stats`)
+and asserts the paper's leakage contract:
+
+* **residual** — no speculative shadow entry survives the run;
+* **conservation** — every accepted shadow fill is eventually either
+  committed or annulled, never lost;
+* **no wrong-path promotion** — under WFC a squashed micro-op's state
+  must never have reached the committed structures (under WFB this
+  holds too, except across a fault — the Meltdown hole the paper
+  documents — or an artificial budget stop).
+
+Cases are ordinary :class:`~repro.exec.job.SimJob` values (kind
+``"verify"``), so they flow through the executor/cache like any other
+simulation: ``Session.verify`` fans a seed range out over worker
+processes and replays unchanged (profile, seed, policy, spec) verdicts
+from the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.policy import CommitPolicy
+from repro.errors import ConfigError
+from repro.exec.job import (DEFAULT_INSTRUCTION_BUDGET, VERIFY, SimJob,
+                            SimResult, spec_params)
+from repro.machine import Machine
+from repro.spec import MachineSpec, machine_spec_from_params
+from repro.verify.fuzz import (FUZZ_FORMAT_VERSION, FuzzProfile,
+                               FuzzProgram, fuzz_profile,
+                               generate_fuzz_program)
+from repro.verify.oracle import OracleResult, ReferenceOracle
+
+
+@dataclass
+class VerifyVerdict:
+    """Outcome of one differential case."""
+
+    seed: int
+    profile: str
+    policy: CommitPolicy
+    ok: bool
+    mismatches: List[str] = field(default_factory=list)
+    invariant_failures: List[str] = field(default_factory=list)
+    instructions: int = 0
+    cycles: int = 0
+    halted_reason: str = ""
+    faults: int = 0
+    from_cache: bool = False
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        line = (f"seed {self.seed:4d} {self.profile:8s} "
+                f"{self.policy.value:8s}: {status} "
+                f"({self.instructions} instr, {self.halted_reason})")
+        for issue in self.mismatches + self.invariant_failures:
+            line += f"\n    - {issue}"
+        return line
+
+
+@dataclass
+class VerifyReport:
+    """A completed verification batch, in submission order."""
+
+    verdicts: List[VerifyVerdict]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for v in self.verdicts if v.ok)
+
+    @property
+    def failures(self) -> int:
+        return len(self.verdicts) - self.passed
+
+    @property
+    def ok(self) -> bool:
+        return self.failures == 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Deterministic JSON payload (no cache/transport metadata)."""
+        return {
+            "fuzz_version": FUZZ_FORMAT_VERSION,
+            "cases": len(self.verdicts),
+            "passed": self.passed,
+            "failures": self.failures,
+            "verdicts": [{
+                "seed": v.seed,
+                "profile": v.profile,
+                "policy": v.policy.value,
+                "ok": v.ok,
+                "mismatches": list(v.mismatches),
+                "invariant_failures": list(v.invariant_failures),
+                "instructions": v.instructions,
+                "cycles": v.cycles,
+                "halted_reason": v.halted_reason,
+                "faults": v.faults,
+            } for v in self.verdicts],
+        }
+
+    def render_text(self) -> str:
+        lines = [v.describe() for v in self.verdicts]
+        lines.append(f"{self.passed}/{len(self.verdicts)} cases ok"
+                     + (f", {self.failures} FAILED" if self.failures
+                        else ""))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# job construction
+# ---------------------------------------------------------------------------
+
+def verify_job(seed: int, policy: CommitPolicy,
+               profile: str = "mixed",
+               instructions: int = DEFAULT_INSTRUCTION_BUDGET,
+               spec: Optional[MachineSpec] = None) -> SimJob:
+    """One differential case as a cacheable job.
+
+    ``profile`` must be a registered fuzz profile name (ad-hoc
+    :class:`FuzzProfile` values can run directly through
+    :func:`verify_case`).  The fuzz format version namespaces the
+    cache: regenerating programs differently invalidates every stored
+    verdict.
+    """
+    fuzz_profile(profile)           # unknown names fail here, loudly
+    return SimJob(kind=VERIFY, target=f"{profile}-{seed}", policy=policy,
+                  instructions=instructions,
+                  params={"seed": seed, "profile": profile,
+                          "fuzz_version": FUZZ_FORMAT_VERSION,
+                          **spec_params(spec)})
+
+
+def _profile_from_params(params: Dict[str, Any]) -> FuzzProfile:
+    return fuzz_profile(str(params.get("profile", "mixed")))
+
+
+# ---------------------------------------------------------------------------
+# the differential run
+# ---------------------------------------------------------------------------
+
+def run_reference(case: FuzzProgram,
+                  max_instructions: Optional[int] = None
+                  ) -> "tuple[ReferenceOracle, OracleResult]":
+    """Execute one fuzz case on a fresh oracle (the golden state).
+
+    Returns the oracle too so callers (golden-state fixtures) can read
+    the final memory image.
+    """
+    oracle = ReferenceOracle()
+    case.apply_memory_image(oracle)
+    golden = oracle.run(case.program, max_instructions=max_instructions,
+                        fault_handler_pc=case.fault_handler_pc)
+    return oracle, golden
+
+
+def verify_case(case: FuzzProgram, policy: CommitPolicy,
+                spec: Optional[MachineSpec] = None,
+                max_instructions: Optional[int] = None) -> VerifyVerdict:
+    """Run one fuzz case differentially and check every invariant."""
+    oracle, golden = run_reference(case, max_instructions=max_instructions)
+
+    machine = Machine.from_spec(spec, policy=policy)
+    case.apply_memory_image(machine)
+    result = machine.run(case.program, max_instructions=max_instructions,
+                         fault_handler_pc=case.fault_handler_pc)
+
+    mismatches = _compare_states(case, golden, result, oracle, machine)
+    invariant_failures = _check_invariants(machine, policy, result)
+    return VerifyVerdict(
+        seed=case.seed,
+        profile=case.profile.name,
+        policy=policy,
+        ok=not mismatches and not invariant_failures,
+        mismatches=mismatches,
+        invariant_failures=invariant_failures,
+        instructions=result.instructions,
+        cycles=result.cycles,
+        halted_reason=result.halted_reason,
+        faults=len(result.fault_events),
+    )
+
+
+def _compare_states(case: FuzzProgram, golden, result, oracle,
+                    machine) -> List[str]:
+    mismatches: List[str] = []
+    if result.halted_reason != golden.halted_reason:
+        mismatches.append(
+            f"halted_reason: machine={result.halted_reason!r} "
+            f"oracle={golden.halted_reason!r}")
+    if result.instructions != golden.instructions:
+        mismatches.append(
+            f"retired instructions: machine={result.instructions} "
+            f"oracle={golden.instructions}")
+    for index, value in golden.untainted_registers().items():
+        got = result.registers[index]
+        if got != value:
+            mismatches.append(
+                f"r{index}: machine={got:#x} oracle={value:#x}")
+    machine_faults = [(f.pc, f.vaddr, f.kind) for f in result.fault_events]
+    oracle_faults = [(f.pc, f.vaddr, f.kind) for f in golden.fault_events]
+    if machine_faults != oracle_faults:
+        mismatches.append(
+            f"fault events: machine={machine_faults} "
+            f"oracle={oracle_faults}")
+    for vaddr in case.compare_addresses():
+        got = machine.read_word(vaddr)
+        want = oracle.read_word(vaddr)
+        if got != want:
+            mismatches.append(
+                f"mem[{vaddr:#x}]: machine={got:#x} oracle={want:#x}")
+    return mismatches
+
+
+def _check_invariants(machine: Machine, policy: CommitPolicy,
+                      result) -> List[str]:
+    """The SafeSpec leakage contract, read from the engine stats."""
+    failures: List[str] = []
+    engine = machine.engine
+    if engine is None:
+        return failures
+    stats = engine.invariant_stats()
+    for name, row in stats.items():
+        if name == "engine":
+            continue
+        if row["residual"] != 0:
+            failures.append(
+                f"{name}: {row['residual']} speculative entries survived "
+                f"the run")
+        retired = row["committed"] + row["annulled"]
+        if row["fills"] != retired + row["residual"]:
+            failures.append(
+                f"{name}: fills={row['fills']} != committed+annulled="
+                f"{retired} (speculative state lost or duplicated)")
+    leaked = stats["engine"]["promoted_then_squashed"]
+    if policy is CommitPolicy.WFC and leaked:
+        failures.append(
+            f"WFC promoted {leaked} squashed micro-op(s) into committed "
+            f"state (speculative leakage)")
+    elif (policy is CommitPolicy.WFB and leaked
+          and not result.fault_events
+          and result.halted_reason != "budget"):
+        failures.append(
+            f"WFB promoted {leaked} squashed micro-op(s) with no fault "
+            f"in the run (speculative leakage)")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# executor worker entry
+# ---------------------------------------------------------------------------
+
+def run_verify_job(job: SimJob) -> SimResult:
+    """Rebuild one differential case from its job spec and run it."""
+    if job.kind != VERIFY:
+        raise ConfigError(f"not a verify job: {job.kind!r}")
+    params = dict(job.params)
+    fuzz_version = int(params.get("fuzz_version", FUZZ_FORMAT_VERSION))
+    if fuzz_version != FUZZ_FORMAT_VERSION:
+        raise ConfigError(
+            f"verify job was built for fuzz format v{fuzz_version}; "
+            f"this build generates v{FUZZ_FORMAT_VERSION}")
+    seed = int(params["seed"])
+    profile = _profile_from_params(params)
+    spec = machine_spec_from_params(params)
+    case = generate_fuzz_program(profile, seed)
+    verdict = verify_case(case, job.policy, spec=spec,
+                          max_instructions=job.instructions)
+    return SimResult(
+        job_key=job.key(),
+        kind=job.kind,
+        target=job.target,
+        policy=job.policy,
+        cycles=verdict.cycles,
+        instructions=verdict.instructions,
+        halted_reason=verdict.halted_reason,
+        details={
+            "seed": seed,
+            "profile": profile.name,
+            "ok": verdict.ok,
+            "mismatches": list(verdict.mismatches),
+            "invariant_failures": list(verdict.invariant_failures),
+            "faults": verdict.faults,
+        },
+    )
+
+
+def verdict_from_sim(result: SimResult) -> VerifyVerdict:
+    """Rehydrate the verdict view of a (possibly cached) job result."""
+    details = result.details
+    return VerifyVerdict(
+        seed=int(details.get("seed", -1)),
+        profile=str(details.get("profile", "?")),
+        policy=result.policy,
+        ok=bool(details.get("ok", False)),
+        mismatches=list(details.get("mismatches", [])),
+        invariant_failures=list(details.get("invariant_failures", [])),
+        instructions=result.instructions,
+        cycles=result.cycles,
+        halted_reason=result.halted_reason,
+        faults=int(details.get("faults", 0)),
+        from_cache=result.from_cache,
+    )

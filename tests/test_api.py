@@ -189,10 +189,11 @@ class TestScenario:
         assert len({first, twin}) == 1
 
 
-class TestSchemaV3:
+class TestSchemaV4:
     def test_schema_bumped(self):
-        # v3: jobs may carry a MachineSpec (dict + digest) in params.
-        assert SCHEMA_VERSION == 3
+        # v4: writeback wrong-path-resolution fix changed simulator
+        # semantics (and added the verify job kind).
+        assert SCHEMA_VERSION == 4
 
     def test_spec_is_kind_uniform(self):
         # v1 special-cased a per-kind ``secret`` column; v2 carries one

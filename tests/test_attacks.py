@@ -6,18 +6,16 @@ and asserts the paper's reported outcome for that (attack, policy) cell.
 
 import pytest
 
+from repro_testlib import POLICIES
 from repro.attacks import (run_attack_by_name, run_dtlb_variant,
                            run_icache_variant, run_itlb_variant,
                            run_meltdown, run_spectre_v1, run_spectre_v2,
                            run_tsa, security_matrix)
 from repro.attacks.runner import render_matrix
 from repro.attacks.tsa import run_tsa_vulnerable
-from repro.core.policy import CommitPolicy
 from repro.errors import ConfigError
 
-BASELINE = CommitPolicy.BASELINE
-WFB = CommitPolicy.WFB
-WFC = CommitPolicy.WFC
+BASELINE, WFB, WFC = POLICIES
 
 
 class TestSpectreV1:

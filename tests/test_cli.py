@@ -32,6 +32,18 @@ class TestParser:
         assert args.jobs == 3 and args.no_cache
         assert args.format == "json"
 
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.count == 10 and args.seed == 0
+        assert args.profile == "mixed" and args.policy is None
+
+    def test_verify_flags(self):
+        args = build_parser().parse_args(
+            ["verify", "--count", "3", "--seed", "7",
+             "--profile", "alu", "--policy", "wfc", "--jobs", "2"])
+        assert args.count == 3 and args.seed == 7
+        assert args.profile == "alu" and args.jobs == 2
+
 
 class TestCommands:
     def test_table5(self, capsys):
@@ -75,3 +87,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 11" in out
         assert "Figure 16" in out
+
+    def test_verify_small(self, capsys):
+        assert main(["verify", "--count", "1", "--seed", "0",
+                     "--policy", "wfc", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cases ok" in out
+
+    def test_verify_json(self, capsys):
+        import json
+
+        assert main(["verify", "--count", "1", "--seed", "2",
+                     "--policy", "baseline", "--no-cache",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failures"] == 0
+        assert payload["verdicts"][0]["seed"] == 2
+
+
+class TestConfigErrorReporting:
+    """Bad ``--set`` paths (and other config mistakes) must exit
+    non-zero with a one-line ``error:`` message — never a traceback."""
+
+    @pytest.mark.parametrize("argv", [
+        ["attack", "spectre_v1", "--policy", "wfc",
+         "--set", "bogus.path=1"],
+        ["attack", "spectre_v1", "--set", "core.rob_entries=abc"],
+        ["verify", "--count", "1", "--set", "nope=1"],
+        ["verify", "--count", "1", "--set", "core.rob_entries"],
+        ["verify", "--count", "1", "--profile", "nope"],
+        ["run", "namd", "--set", "safespec.sizing=weird"],
+    ])
+    def test_bad_config_is_one_line_error(self, capsys, argv):
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+        assert len(captured.err.strip().splitlines()) == 1

@@ -1,22 +1,15 @@
-"""Integration tests for the out-of-order core's execution semantics."""
+"""Integration tests for the out-of-order core's execution semantics.
+
+Machine/program construction comes from the shared ``conftest.py``
+fixtures (``run_program``, ``user_machine``); this file owns only the
+semantics being asserted.
+"""
 
 import pytest
 
-from repro import CommitPolicy, Machine, ProgramBuilder
+from repro_testlib import DATA_BASE as DATA, KERNEL_BASE, POLICIES
+from repro import CommitPolicy, ProgramBuilder
 from repro.memory.paging import PrivilegeLevel
-
-DATA = 0x20000
-
-
-def run_program(build, policy=CommitPolicy.BASELINE, setup=None,
-                regs=None, **kwargs):
-    machine = Machine(policy=policy)
-    machine.map_user_range(DATA, 64 * 1024)
-    if setup:
-        setup(machine)
-    b = ProgramBuilder()
-    build(b)
-    return machine, machine.run(b.build(), initial_registers=regs, **kwargs)
 
 
 class TestAluSemantics:
@@ -30,7 +23,7 @@ class TestAluSemantics:
         ("shl", 3, 2, 12),
         ("shr", 12, 2, 3),
     ])
-    def test_register_ops(self, op, lhs, rhs, expected):
+    def test_register_ops(self, run_program, op, lhs, rhs, expected):
         def build(b):
             b.li("r1", lhs)
             b.li("r2", rhs)
@@ -39,7 +32,7 @@ class TestAluSemantics:
         _, result = run_program(build)
         assert result.reg("r3") == expected
 
-    def test_sub_wraps_unsigned(self):
+    def test_sub_wraps_unsigned(self, run_program):
         def build(b):
             b.li("r1", 0)
             b.alu("sub", "r2", "r1", imm=1)
@@ -47,7 +40,7 @@ class TestAluSemantics:
         _, result = run_program(build)
         assert result.reg("r2") == 2**64 - 1
 
-    def test_immediate_form(self):
+    def test_immediate_form(self, run_program):
         def build(b):
             b.li("r1", 10)
             b.alu("add", "r2", "r1", imm=7)
@@ -55,7 +48,7 @@ class TestAluSemantics:
         _, result = run_program(build)
         assert result.reg("r2") == 17
 
-    def test_dependency_chain(self):
+    def test_dependency_chain(self, run_program):
         def build(b):
             b.li("r1", 1)
             for _ in range(10):
@@ -66,7 +59,7 @@ class TestAluSemantics:
 
 
 class TestMemorySemantics:
-    def test_store_load_roundtrip(self):
+    def test_store_load_roundtrip(self, run_program):
         def build(b):
             b.li("r1", DATA)
             b.li("r2", 1234)
@@ -76,7 +69,7 @@ class TestMemorySemantics:
         _, result = run_program(build)
         assert result.reg("r3") == 1234
 
-    def test_store_to_load_forwarding_preserves_value(self):
+    def test_store_to_load_forwarding_preserves_value(self, run_program):
         """A load right behind the store must see the store's data even
         though the store has not committed when the load issues."""
         def build(b):
@@ -89,7 +82,7 @@ class TestMemorySemantics:
         _, result = run_program(build)
         assert result.reg("r4") == 78
 
-    def test_memory_visible_after_store_commit(self):
+    def test_memory_visible_after_store_commit(self, run_program):
         def build(b):
             b.li("r1", DATA)
             b.li("r2", 55)
@@ -98,7 +91,7 @@ class TestMemorySemantics:
         machine, _ = run_program(build)
         assert machine.read_word(DATA + 16) == 55
 
-    def test_load_from_preinitialised_memory(self):
+    def test_load_from_preinitialised_memory(self, run_program):
         def setup(machine):
             machine.write_word(DATA + 24, 999)
 
@@ -109,7 +102,7 @@ class TestMemorySemantics:
         _, result = run_program(build, setup=setup)
         assert result.reg("r2") == 999
 
-    def test_initial_registers(self):
+    def test_initial_registers(self, run_program):
         def build(b):
             b.alu("add", "r2", "r1", imm=0)
             b.halt()
@@ -118,7 +111,7 @@ class TestMemorySemantics:
 
 
 class TestControlFlow:
-    def test_taken_branch_skips(self):
+    def test_taken_branch_skips(self, run_program):
         def build(b):
             b.li("r1", 1)
             b.branch("ne", "r1", "r0", "skip")
@@ -130,7 +123,7 @@ class TestControlFlow:
         assert result.reg("r2") == 0
         assert result.reg("r3") == 222
 
-    def test_not_taken_branch_falls_through(self):
+    def test_not_taken_branch_falls_through(self, run_program):
         def build(b):
             b.li("r1", 0)
             b.branch("ne", "r1", "r0", "skip")
@@ -140,7 +133,7 @@ class TestControlFlow:
         _, result = run_program(build)
         assert result.reg("r2") == 111
 
-    def test_loop_counts_correctly(self):
+    def test_loop_counts_correctly(self, run_program):
         def build(b):
             b.li("r1", 10)
             b.li("r2", 0)
@@ -152,7 +145,7 @@ class TestControlFlow:
         _, result = run_program(build)
         assert result.reg("r2") == 30
 
-    def test_jmp(self):
+    def test_jmp(self, run_program):
         def build(b):
             b.jmp("end")
             b.li("r1", 1)
@@ -161,7 +154,7 @@ class TestControlFlow:
         _, result = run_program(build)
         assert result.reg("r1") == 0
 
-    def test_jmpi_lands_on_register_target(self):
+    def test_jmpi_lands_on_register_target(self, run_program):
         def build(b):
             b.li("r1", 0)      # patched below via label math is awkward;
             b.jmp("setup")     # compute target with a second jump instead
@@ -175,7 +168,8 @@ class TestControlFlow:
         _, result = run_program(build)
         assert result.reg("r2") == 42
 
-    def test_mispredicted_branch_leaves_no_architectural_effects(self):
+    def test_mispredicted_branch_leaves_no_architectural_effects(
+            self, run_program):
         """Wrong-path writes must never reach the register file."""
         def setup(machine):
             machine.write_word(DATA, 1)
@@ -192,12 +186,11 @@ class TestControlFlow:
         _, result = run_program(build, setup=setup)
         assert result.reg("r3") == 0
 
-    def test_branch_wrong_path_squashed_after_training(self):
+    def test_branch_wrong_path_squashed_after_training(self, user_machine):
         """Train a branch one way, then flip the condition: the stale
         prediction speculates down the wrong path, which must be fully
         annulled."""
-        machine = Machine()
-        machine.map_user_range(DATA, 4096)
+        machine = user_machine(data_bytes=4096)
         machine.write_word(DATA, 0)
         b = ProgramBuilder()
         b.li("r1", DATA)
@@ -219,7 +212,7 @@ class TestControlFlow:
 
 
 class TestSerialisation:
-    def test_rdtsc_monotonic_and_ordered(self):
+    def test_rdtsc_monotonic_and_ordered(self, run_program):
         def build(b):
             b.rdtsc("r1")
             b.li("r2", DATA)
@@ -232,7 +225,7 @@ class TestSerialisation:
         # The second timestamp must include the full load latency.
         assert result.reg("r5") - result.reg("r1") > 150
 
-    def test_fence_blocks_younger_issue(self):
+    def test_fence_blocks_younger_issue(self, run_program):
         def build(b):
             b.li("r1", DATA)
             b.load("r2", "r1", 0)
@@ -242,9 +235,8 @@ class TestSerialisation:
         _, result = run_program(build)
         assert result.reg("r3") > 150  # rdtsc issued after fence drained
 
-    def test_clflush_evicts_at_commit(self):
-        machine = Machine()
-        machine.map_user_range(DATA, 4096)
+    def test_clflush_evicts_at_commit(self, user_machine):
+        machine = user_machine(data_bytes=4096)
         b = ProgramBuilder()
         b.li("r1", DATA)
         b.load("r2", "r1", 0)     # brings the line in
@@ -255,7 +247,7 @@ class TestSerialisation:
 
 
 class TestFaults:
-    def test_unmapped_load_faults_at_commit(self):
+    def test_unmapped_load_faults_at_commit(self, run_program):
         def build(b):
             b.li("r1", 0xDEAD0000)
             b.load("r2", "r1", 0)
@@ -266,63 +258,50 @@ class TestFaults:
         assert result.fault_events[0].kind == "unmapped"
         assert result.reg("r3") == 0
 
-    def test_kernel_load_faults_for_user(self):
-        machine = Machine()
-        machine.map_kernel_range(0x80000, 4096)
-        b = ProgramBuilder()
-        b.li("r1", 0x80000)
-        b.load("r2", "r1", 0)
-        b.halt()
-        result = machine.run(b.build())
+    def test_kernel_load_faults_for_user(self, user_machine, load_program):
+        machine = user_machine(data_bytes=0, kernel=True)
+        result = machine.run(load_program(KERNEL_BASE))
         assert result.fault_events[0].kind == "permission"
         assert result.reg("r2") == 0  # never architecturally written
 
-    def test_kernel_load_allowed_for_supervisor(self):
-        machine = Machine()
-        machine.map_kernel_range(0x80000, 4096)
-        machine.hierarchy.memory.write_word(0x80000, 7)
-        b = ProgramBuilder()
-        b.li("r1", 0x80000)
-        b.load("r2", "r1", 0)
-        b.halt()
-        result = machine.run(b.build(),
+    def test_kernel_load_allowed_for_supervisor(self, user_machine,
+                                                load_program):
+        machine = user_machine(data_bytes=0, kernel=True)
+        machine.hierarchy.memory.write_word(KERNEL_BASE, 7)
+        result = machine.run(load_program(KERNEL_BASE),
                              privilege=PrivilegeLevel.SUPERVISOR)
         assert not result.fault_events
         assert result.reg("r2") == 7
 
-    def test_fault_handler_redirect(self):
-        def build(b):
-            b.li("r1", 0xDEAD0000)
-            b.load("r2", "r1", 0)
-            b.halt()
-            b.label("handler")
-            b.li("r3", 99)
-            b.halt()
-        machine = Machine()
-        machine.map_user_range(DATA, 4096)
+    def test_fault_handler_redirect(self, user_machine):
+        machine = user_machine(data_bytes=4096)
         b = ProgramBuilder()
-        build(b)
+        b.li("r1", 0xDEAD0000)
+        b.load("r2", "r1", 0)
+        b.halt()
+        b.label("handler")
+        b.li("r3", 99)
+        b.halt()
         program = b.build()
         result = machine.run(
             program, fault_handler_pc=program.label_pc("handler"))
         assert result.halted_reason == "halt"
         assert result.reg("r3") == 99
 
-    def test_store_permission_fault(self):
-        machine = Machine()
-        machine.map_kernel_range(0x80000, 4096)
+    def test_store_permission_fault(self, user_machine):
+        machine = user_machine(data_bytes=0, kernel=True)
         b = ProgramBuilder()
-        b.li("r1", 0x80000)
+        b.li("r1", KERNEL_BASE)
         b.li("r2", 1)
         b.store("r1", "r2", 0)
         b.halt()
         result = machine.run(b.build())
         assert result.fault_events[0].kind == "permission"
-        assert machine.hierarchy.memory.read_word(0x80000) == 0
+        assert machine.hierarchy.memory.read_word(KERNEL_BASE) == 0
 
 
 class TestRunTermination:
-    def test_instruction_budget(self):
+    def test_instruction_budget(self, run_program):
         def build(b):
             b.label("spin")
             b.alu("add", "r1", "r1", imm=1)
@@ -331,14 +310,14 @@ class TestRunTermination:
         assert result.halted_reason == "budget"
         assert result.instructions >= 50
 
-    def test_running_off_code_halts(self):
+    def test_running_off_code_halts(self, run_program):
         def build(b):
             b.li("r1", 5)  # no halt: falls off the end
         _, result = run_program(build)
         assert result.halted_reason == "ran_off_code"
         assert result.reg("r1") == 5
 
-    def test_ipc_computed(self):
+    def test_ipc_computed(self, run_program):
         def build(b):
             b.li("r1", 1)
             b.halt()
@@ -349,7 +328,8 @@ class TestRunTermination:
 class TestArchitecturalEquivalence:
     """SafeSpec must not change what programs compute — only their
     micro-architectural footprint (paper Section III: speculation does
-    not affect correctness)."""
+    not affect correctness).  The systematic version of this check is
+    ``repro verify`` (tests/test_verify_harness.py)."""
 
     def _checksum_program(self):
         b = ProgramBuilder()
@@ -374,12 +354,10 @@ class TestArchitecturalEquivalence:
         b.halt()
         return b.build()
 
-    def test_same_result_under_all_policies(self):
+    def test_same_result_under_all_policies(self, user_machine):
         results = {}
-        for policy in (CommitPolicy.BASELINE, CommitPolicy.WFB,
-                       CommitPolicy.WFC):
-            machine = Machine(policy=policy)
-            machine.map_user_range(DATA, 64 * 1024)
+        for policy in POLICIES:
+            machine = user_machine(policy=policy)
             results[policy] = machine.run(
                 self._checksum_program(), max_instructions=2000).registers
         assert results[CommitPolicy.BASELINE] == results[CommitPolicy.WFB]

@@ -1,7 +1,12 @@
-"""Tests for the Machine facade."""
+"""Tests for the Machine facade.
+
+Probe/program construction comes from the shared ``conftest.py``
+fixtures (``load_program``, ``user_machine``).
+"""
 
 import pytest
 
+from repro_testlib import KERNEL_BASE
 from repro import (CommitPolicy, FullPolicy, Machine, ProgramBuilder,
                    SafeSpecConfig, SizingMode)
 
@@ -48,14 +53,10 @@ class TestMemoryHelpers:
         with pytest.raises(KeyError):
             Machine().flush_address(0x10000)
 
-    def test_kernel_range_blocks_user_runs(self):
-        machine = Machine()
-        machine.map_kernel_range(0x80000, 4096)
-        b = ProgramBuilder()
-        b.li("r1", 0x80000)
-        b.load("r2", "r1", 0)
-        b.halt()
-        result = machine.run(b.build())
+    def test_kernel_range_blocks_user_runs(self, user_machine,
+                                           load_program):
+        machine = user_machine(data_bytes=0, kernel=True)
+        result = machine.run(load_program(KERNEL_BASE))
         assert result.fault_events
 
 
@@ -68,37 +69,25 @@ class TestRun:
         result = machine.run(b.build())
         assert result.reg("r1") == 5
 
-    def test_state_persists_across_runs(self):
+    def test_state_persists_across_runs(self, load_program):
         machine = Machine()
         machine.map_user_range(0x10000, 4096)
-        b = ProgramBuilder()
-        b.li("r1", 0x10000)
-        b.load("r2", "r1", 0)
-        b.halt()
-        program = b.build()
+        program = load_program(0x10000)
         cold = machine.run(program).cycles
         warm = machine.run(program).cycles
         assert warm < cold
 
-    def test_probe_latency_reflects_cache_state(self):
+    def test_probe_latency_reflects_cache_state(self, load_program):
         machine = Machine()
         machine.map_user_range(0x10000, 4096)
         cold = machine.probe_latency(0x10000)
-        b = ProgramBuilder()
-        b.li("r1", 0x10000)
-        b.load("r2", "r1", 0)
-        b.halt()
-        machine.run(b.build())
+        machine.run(load_program(0x10000))
         assert machine.probe_latency(0x10000) < cold
 
-    def test_flush_address_restores_miss_latency(self):
+    def test_flush_address_restores_miss_latency(self, load_program):
         machine = Machine()
         machine.map_user_range(0x10000, 4096)
-        b = ProgramBuilder()
-        b.li("r1", 0x10000)
-        b.load("r2", "r1", 0)
-        b.halt()
-        machine.run(b.build())
+        machine.run(load_program(0x10000))
         machine.flush_address(0x10000)
         assert machine.probe_latency(0x10000) > 100
 

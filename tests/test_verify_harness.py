@@ -1,0 +1,225 @@
+"""Tests for the differential/invariant verification harness."""
+
+import json
+
+import pytest
+
+from repro_testlib import POLICIES
+from repro.api.session import Session
+from repro.cli import main
+from repro.core.policy import CommitPolicy
+from repro.errors import ConfigError
+from repro.exec.cache import ResultCache
+from repro.exec.executor import SerialExecutor, execute_job
+from repro.exec.job import SimJob
+from repro.verify import (FUZZ_FORMAT_VERSION, ReferenceOracle,
+                          fuzz_profile, generate_fuzz_program,
+                          run_verify_job, verdict_from_sim, verify_case,
+                          verify_job)
+
+
+class TestVerifyCase:
+    def test_single_case_passes_under_all_policies(self):
+        case = generate_fuzz_program(fuzz_profile("mixed"), 0)
+        for policy in POLICIES:
+            verdict = verify_case(case, policy)
+            assert verdict.ok, (verdict.mismatches
+                                + verdict.invariant_failures)
+            assert verdict.instructions > 0
+            assert verdict.policy is policy
+
+    def test_corrupted_oracle_caught_as_mismatch(self, monkeypatch):
+        """A deliberately wrong golden state must be flagged, proving
+        the comparison actually bites."""
+        case = generate_fuzz_program(fuzz_profile("mixed"), 1)
+        original = ReferenceOracle.run
+
+        def corrupted(self, *args, **kwargs):
+            result = original(self, *args, **kwargs)
+            registers = list(result.registers)
+            registers[5] ^= 0xDEAD            # flip an untainted register
+            result.registers = tuple(registers)
+            return result
+
+        monkeypatch.setattr(ReferenceOracle, "run", corrupted)
+        verdict = verify_case(case, CommitPolicy.BASELINE)
+        assert not verdict.ok
+        assert any("r5" in m for m in verdict.mismatches)
+
+    def test_corrupted_machine_memory_caught(self, monkeypatch):
+        """Divergence in the final memory image is also flagged."""
+        case = generate_fuzz_program(fuzz_profile("mixed"), 2)
+        from repro.machine import Machine
+
+        original = Machine.run
+
+        def tampering(self, *args, **kwargs):
+            result = original(self, *args, **kwargs)
+            self.hierarchy.memory.write_word(case.data_base, 0xBAD)
+            return result
+
+        monkeypatch.setattr(Machine, "run", tampering)
+        verdict = verify_case(case, CommitPolicy.BASELINE)
+        assert not verdict.ok
+        assert any("mem[" in m for m in verdict.mismatches)
+
+    def test_invariant_failure_reported(self, monkeypatch):
+        """A fabricated residual shadow entry must fail the leakage
+        invariant."""
+        from repro.core.safespec import SafeSpecEngine
+
+        case = generate_fuzz_program(fuzz_profile("mixed"), 3)
+        original = SafeSpecEngine.invariant_stats
+
+        def leaky(self):
+            stats = original(self)
+            stats["shadow_dcache"]["residual"] = 1
+            return stats
+
+        monkeypatch.setattr(SafeSpecEngine, "invariant_stats", leaky)
+        verdict = verify_case(case, CommitPolicy.WFC)
+        assert not verdict.ok
+        assert any("survived" in f for f in verdict.invariant_failures)
+
+
+class TestInvariantSurface:
+    def test_engine_stats_shape(self):
+        case = generate_fuzz_program(fuzz_profile("mixed"), 0)
+        from repro.machine import Machine
+
+        machine = Machine.from_spec(None, policy=CommitPolicy.WFC)
+        case.apply_memory_image(machine)
+        machine.run(case.program, fault_handler_pc=case.fault_handler_pc)
+        stats = machine.engine.invariant_stats()
+        for name in ("shadow_dcache", "shadow_icache", "shadow_itlb",
+                     "shadow_dtlb"):
+            row = stats[name]
+            assert row["residual"] == 0
+            assert row["fills"] == row["committed"] + row["annulled"]
+        assert stats["engine"]["promoted_then_squashed"] == 0
+
+    def test_wfb_fault_hole_is_visible(self):
+        """Under WFB a faulting load's dependents promote before the
+        squash — the paper's Meltdown hole — and the new counter
+        exposes exactly that."""
+        from repro import ProgramBuilder
+        from repro.machine import Machine
+
+        machine = Machine.from_spec(None, policy=CommitPolicy.WFB)
+        machine.map_user_range(0x20000, 4096)
+        machine.map_kernel_range(0x80000, 4096)
+        b = ProgramBuilder()
+        b.li("r1", 0x80000)
+        b.load("r2", "r1", 0)         # faults at commit
+        b.li("r3", 0x20000)
+        b.load("r4", "r3", 256)       # dependent-window transmit access
+        b.halt()
+        program = b.build()
+        machine.run(program)
+        assert machine.engine.promoted_then_squashed > 0
+
+
+class TestVerifyJobs:
+    def test_job_key_is_deterministic(self):
+        a = verify_job(3, CommitPolicy.WFC)
+        b = verify_job(3, CommitPolicy.WFC)
+        assert a.key() == b.key()
+        assert a.key() != verify_job(4, CommitPolicy.WFC).key()
+        assert a.key() != verify_job(3, CommitPolicy.WFB).key()
+
+    def test_unknown_profile_rejected_at_construction(self):
+        with pytest.raises(ConfigError):
+            verify_job(0, CommitPolicy.WFC, profile="nope")
+
+    def test_non_verify_job_rejected(self):
+        job = SimJob(kind="workload", target="namd")
+        with pytest.raises(ConfigError):
+            run_verify_job(job)
+
+    def test_foreign_fuzz_version_rejected(self):
+        job = SimJob(kind="verify", target="mixed-0",
+                     params={"seed": 0, "profile": "mixed",
+                             "fuzz_version": FUZZ_FORMAT_VERSION + 1})
+        with pytest.raises(ConfigError):
+            run_verify_job(job)
+
+    def test_execute_job_dispatches_verify(self):
+        result = execute_job(verify_job(0, CommitPolicy.BASELINE))
+        assert result.kind == "verify"
+        assert result.details["ok"] is True
+        verdict = verdict_from_sim(result)
+        assert verdict.ok and verdict.seed == 0
+
+    def test_results_cache_and_replay(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        executor = SerialExecutor(cache=cache)
+        jobs = [verify_job(s, CommitPolicy.WFC) for s in range(2)]
+        first = executor.run(jobs)
+        second = executor.run(jobs)
+        assert all(not r.from_cache for r in first)
+        assert all(r.from_cache for r in second)
+        assert [r.details for r in first] == [r.details for r in second]
+
+
+class TestSessionVerify:
+    def test_report_aggregates_and_orders(self):
+        report = Session(cache=False).verify(count=2, seed=0)
+        assert len(report.verdicts) == 2 * len(POLICIES)
+        assert report.ok and report.failures == 0
+        assert [v.seed for v in report.verdicts] == [0, 0, 0, 1, 1, 1]
+        payload = report.to_payload()
+        assert payload["passed"] == payload["cases"]
+
+    def test_payload_deterministic_across_sessions(self):
+        first = Session(cache=False).verify(count=2, seed=7)
+        second = Session(cache=False).verify(count=2, seed=7)
+        assert first.to_payload() == second.to_payload()
+
+    def test_parallel_session_matches_serial(self):
+        serial = Session(cache=False).verify(count=2, seed=3)
+        parallel = Session(cache=False, jobs=2).verify(count=2, seed=3)
+        assert serial.to_payload() == parallel.to_payload()
+
+    def test_count_validated(self):
+        with pytest.raises(ConfigError):
+            Session(cache=False).verify(count=0)
+
+    def test_single_policy_subset(self):
+        report = Session(cache=False).verify(
+            count=1, seed=0, policies=[CommitPolicy.WFC])
+        assert len(report.verdicts) == 1
+        assert report.verdicts[0].policy is CommitPolicy.WFC
+
+
+class TestAcceptance:
+    """The PR's acceptance gate: 25 seeds under every policy on the
+    default preset, via the real CLI, deterministically."""
+
+    def test_verify_25_seeds_all_policies(self, capsys):
+        assert main(["verify", "--count", "25", "--seed", "0",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cases"] == 25 * 3
+        assert payload["failures"] == 0
+        assert all(v["ok"] for v in payload["verdicts"])
+        # Second run (cache-served) must emit the identical document.
+        assert main(["verify", "--count", "25", "--seed", "0",
+                     "--format", "json"]) == 0
+        again = json.loads(capsys.readouterr().out)
+        assert again == payload
+
+    def test_cli_reports_failures_in_exit_code(self, capsys, monkeypatch):
+        original = ReferenceOracle.run
+
+        def corrupted(self, *args, **kwargs):
+            result = original(self, *args, **kwargs)
+            registers = list(result.registers)
+            registers[4] ^= 1
+            result.registers = tuple(registers)
+            return result
+
+        monkeypatch.setattr(ReferenceOracle, "run", corrupted)
+        code = main(["verify", "--count", "1", "--seed", "0",
+                     "--no-cache", "--policy", "baseline"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,275 @@
+"""Unit tests for the in-order reference oracle."""
+
+import pytest
+
+from repro_testlib import DATA_BASE as DATA, KERNEL_BASE
+from repro import ProgramBuilder
+from repro.errors import OracleError, SimulationError
+from repro.memory.paging import PrivilegeLevel
+from repro.verify import ReferenceOracle
+
+
+def run_oracle(build, setup=None, regs=None, kernel=False, **kwargs):
+    oracle = ReferenceOracle()
+    oracle.map_user_range(DATA, 64 * 1024)
+    if kernel:
+        oracle.map_kernel_range(KERNEL_BASE, 4096)
+    if setup:
+        setup(oracle)
+    b = ProgramBuilder()
+    build(b)
+    return oracle, oracle.run(b.build(), initial_registers=regs, **kwargs)
+
+
+class TestAluSemantics:
+    @pytest.mark.parametrize("op,lhs,rhs,expected", [
+        ("add", 5, 3, 8),
+        ("sub", 5, 3, 2),
+        ("mul", 5, 3, 15),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("shl", 3, 2, 12),
+        ("shr", 12, 2, 3),
+    ])
+    def test_register_ops(self, op, lhs, rhs, expected):
+        def build(b):
+            b.li("r1", lhs)
+            b.li("r2", rhs)
+            b.alu(op, "r3", "r1", "r2")
+            b.halt()
+        _, result = run_oracle(build)
+        assert result.reg(3) == expected
+
+    def test_wraparound_and_masked_shift(self):
+        def build(b):
+            b.li("r1", 0)
+            b.alu("sub", "r2", "r1", imm=1)       # 2**64 - 1
+            b.li("r3", 1)
+            b.alu("shl", "r4", "r3", imm=65)      # shift amount & 63 == 1
+            b.halt()
+        _, result = run_oracle(build)
+        assert result.reg(2) == 2**64 - 1
+        assert result.reg(4) == 2
+
+    def test_initial_registers(self):
+        def build(b):
+            b.alu("add", "r2", "r1", imm=0)
+            b.halt()
+        _, result = run_oracle(build, regs={1: 31337})
+        assert result.reg(2) == 31337
+
+
+class TestMemory:
+    def test_store_load_roundtrip_and_persistence(self):
+        def build(b):
+            b.li("r1", DATA)
+            b.li("r2", 1234)
+            b.store("r1", "r2", 8)
+            b.load("r3", "r1", 8)
+            b.halt()
+        oracle, result = run_oracle(build)
+        assert result.reg(3) == 1234
+        assert oracle.read_word(DATA + 8) == 1234
+
+    def test_load_from_preinitialised_memory(self):
+        def setup(oracle):
+            oracle.write_word(DATA + 24, 999)
+
+        def build(b):
+            b.li("r1", DATA)
+            b.load("r2", "r1", 24)
+            b.halt()
+        _, result = run_oracle(build, setup=setup)
+        assert result.reg(2) == 999
+
+    def test_unmapped_setup_access_raises(self):
+        with pytest.raises(KeyError):
+            ReferenceOracle().write_word(0x999000, 1)
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        def build(b):
+            b.li("r1", 10)
+            b.li("r2", 0)
+            b.label("loop")
+            b.alu("add", "r2", "r2", imm=3)
+            b.alu("sub", "r1", "r1", imm=1)
+            b.branch("ne", "r1", "r0", "loop")
+            b.halt()
+        _, result = run_oracle(build)
+        assert result.reg(2) == 30
+
+    def test_signed_compare(self):
+        def build(b):
+            b.li("r1", 0)
+            b.alu("sub", "r1", "r1", imm=1)   # -1 signed
+            b.li("r2", 1)
+            b.branch("lt", "r1", "r2", "less")
+            b.li("r3", 111)
+            b.label("less")
+            b.halt()
+        _, result = run_oracle(build)
+        assert result.reg(3) == 0             # -1 < 1: skip taken
+
+    def test_jmpi(self):
+        def build(b):
+            b.li("r1", 0x1000 + 3 * 16)
+            b.jmpi("r1")
+            b.li("r2", 111)                   # skipped
+            b.halt()
+        _, result = run_oracle(build)
+        assert result.reg(2) == 0
+        assert result.halted_reason == "halt"
+
+    def test_running_off_code(self):
+        def build(b):
+            b.li("r1", 5)
+        _, result = run_oracle(build)
+        assert result.halted_reason == "ran_off_code"
+        assert result.instructions == 1
+
+    def test_instruction_budget(self):
+        def build(b):
+            b.label("spin")
+            b.alu("add", "r1", "r1", imm=1)
+            b.jmp("spin")
+        _, result = run_oracle(build, max_instructions=50)
+        assert result.halted_reason == "budget"
+        assert result.instructions == 50
+
+    def test_runaway_loop_hits_step_limit(self):
+        def build(b):
+            b.label("spin")
+            b.jmp("spin")
+        with pytest.raises(SimulationError):
+            run_oracle(build, step_limit=100)
+
+
+class TestFaults:
+    def test_unmapped_load_stops_without_handler(self):
+        def build(b):
+            b.li("r1", 0xDEAD0000)
+            b.load("r2", "r1", 0)
+            b.li("r3", 1)
+            b.halt()
+        _, result = run_oracle(build)
+        assert result.halted_reason == "fault"
+        assert result.fault_events[0].kind == "unmapped"
+        assert result.reg(2) == 0 and result.reg(3) == 0
+        # the faulting instruction does not retire
+        assert result.instructions == 1
+
+    def test_kernel_load_faults_for_user_but_not_supervisor(self):
+        def build(b):
+            b.li("r1", KERNEL_BASE)
+            b.load("r2", "r1", 0)
+            b.halt()
+
+        def setup(oracle):
+            oracle.memory.write_word(KERNEL_BASE, 7)
+
+        _, result = run_oracle(build, setup=setup, kernel=True)
+        assert result.fault_events[0].kind == "permission"
+        assert result.reg(2) == 0
+
+        _, result = run_oracle(build, setup=setup, kernel=True,
+                               privilege=PrivilegeLevel.SUPERVISOR)
+        assert not result.fault_events
+        assert result.reg(2) == 7
+
+    def test_store_permission_fault_leaves_memory_unchanged(self):
+        def build(b):
+            b.li("r1", KERNEL_BASE)
+            b.li("r2", 1)
+            b.store("r1", "r2", 0)
+            b.halt()
+        oracle, result = run_oracle(build, kernel=True)
+        assert result.fault_events[0].kind == "permission"
+        assert oracle.memory.read_word(KERNEL_BASE) == 0
+
+    def test_fault_handler_redirect(self):
+        b = ProgramBuilder()
+        b.li("r1", 0xDEAD0000)
+        b.load("r2", "r1", 0)
+        b.halt()
+        b.label("handler")
+        b.li("r3", 99)
+        b.halt()
+        program = b.build()
+        oracle = ReferenceOracle()
+        result = oracle.run(program,
+                            fault_handler_pc=program.label_pc("handler"))
+        assert result.halted_reason == "halt"
+        assert result.reg(3) == 99
+        assert len(result.fault_events) == 1
+
+    def test_clflush_never_faults(self):
+        def build(b):
+            b.li("r1", 0xDEAD0000)
+            b.clflush("r1", 0)
+            b.halt()
+        _, result = run_oracle(build)
+        assert result.halted_reason == "halt"
+        assert not result.fault_events
+
+
+class TestTaintTracking:
+    def test_rdtsc_taints_and_li_clears(self):
+        def build(b):
+            b.rdtsc("r1")
+            b.rdtsc("r2")
+            b.li("r2", 7)
+            b.halt()
+        _, result = run_oracle(build)
+        assert result.tainted == frozenset({1})
+        assert 2 in result.untainted_registers()
+        assert 1 not in result.untainted_registers()
+
+    def test_taint_propagates_through_alu(self):
+        def build(b):
+            b.rdtsc("r1")
+            b.alu("add", "r2", "r1", imm=1)
+            b.alu("xor", "r3", "r2", "r2")
+            b.halt()
+        _, result = run_oracle(build)
+        assert result.tainted == frozenset({1, 2, 3})
+
+    def test_load_clears_taint(self):
+        def build(b):
+            b.rdtsc("r2")
+            b.li("r1", DATA)
+            b.load("r2", "r1", 0)
+            b.halt()
+        _, result = run_oracle(build)
+        assert result.tainted == frozenset()
+
+    @pytest.mark.parametrize("use", ["branch", "load", "store", "jmpi",
+                                     "clflush"])
+    def test_architectural_use_of_taint_rejected(self, use):
+        def build(b):
+            b.rdtsc("r1")
+            if use == "branch":
+                b.branch("eq", "r1", "r0", "end")
+            elif use == "load":
+                b.load("r2", "r1", 0)
+            elif use == "store":
+                b.store("r1", "r2", 0)
+            elif use == "jmpi":
+                b.jmpi("r1")
+            else:
+                b.clflush("r1", 0)
+            b.label("end")
+            b.halt()
+        with pytest.raises(OracleError):
+            run_oracle(build)
+
+    def test_store_of_tainted_value_rejected(self):
+        def build(b):
+            b.rdtsc("r2")
+            b.li("r1", DATA)
+            b.store("r1", "r2", 0)
+            b.halt()
+        with pytest.raises(OracleError):
+            run_oracle(build)

@@ -1,0 +1,106 @@
+"""Property-based tests for assembler round-trip and MachineSpec
+serialization (``hypothesis`` is an optional dev dependency — the whole
+module skips when it is absent)."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.frontend.btb import BTBConfig  # noqa: E402
+from repro.isa.assembler import ProgramBuilder, assemble  # noqa: E402
+from repro.spec import MachineSpec  # noqa: E402
+from repro.verify import FUZZ_PROFILES, generate_fuzz_program  # noqa: E402
+
+profiles = st.sampled_from(sorted(FUZZ_PROFILES))
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestAssemblerRoundTrip:
+    """``assemble(p.to_source()) == p`` — the disassembler's
+    re-assembleable form is lossless over the whole fuzzed ISA surface."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(profiles, seeds)
+    def test_fuzzed_programs_roundtrip(self, profile, seed):
+        program = generate_fuzz_program(FUZZ_PROFILES[profile],
+                                        seed).program
+        rebuilt = assemble(program.to_source(), code_base=program.code_base)
+        assert rebuilt.instructions == program.instructions
+
+    def test_handwritten_full_coverage_roundtrip(self):
+        """One program touching every opcode and operand form."""
+        b = ProgramBuilder()
+        b.li("r1", -5)
+        b.li("r2", (1 << 64) - 1)
+        b.alu("add", "r3", "r1", "r2")
+        b.alu("shr", "r4", "r3", imm=-7)
+        b.load("r5", "r1", -16)
+        b.store("r1", "r5", 24)
+        b.label("back")
+        b.clflush("r1", 8)
+        b.rdtsc("r6")
+        b.fence()
+        b.nop(2)
+        b.branch("ge", "r5", "r0", "fwd")
+        b.jmp("back")
+        b.label("fwd")
+        b.jmpi("r4")
+        b.halt()
+        program = b.build()
+        rebuilt = assemble(program.to_source(), code_base=program.code_base)
+        assert rebuilt.instructions == program.instructions
+
+
+# Dotted spec paths paired with strategies producing valid values, so a
+# random override set always yields a constructible spec (values are
+# chosen to satisfy cross-field invariants like ROB >= IQ against the
+# other fields' defaults).
+_SPEC_OVERRIDES = {
+    "core.rob_entries": st.integers(128, 512),
+    "core.fetch_width": st.integers(1, 8),
+    "core.mispredict_penalty": st.integers(1, 40),
+    "hierarchy.l1d.size_bytes": st.sampled_from(
+        [16 * 1024, 32 * 1024, 64 * 1024]),
+    "hierarchy.memory_latency": st.integers(50, 400),
+    "predictor": st.sampled_from(["bimodal", "gshare"]),
+    # entries and index_bits are coupled (entries == 2**index_bits), so
+    # the BTB override replaces the whole section consistently.
+    "btb": st.integers(6, 11).map(
+        lambda k: BTBConfig(entries=1 << k, index_bits=k)),
+    "safespec.sizing": st.sampled_from(["secure", "performance"]),
+}
+
+override_sets = st.dictionaries(
+    st.sampled_from(sorted(_SPEC_OVERRIDES)), st.none(),
+    max_size=4).flatmap(
+        lambda keys: st.fixed_dictionaries(
+            {key: _SPEC_OVERRIDES[key] for key in keys}))
+
+
+class TestMachineSpecProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(override_sets)
+    def test_dict_roundtrip_under_random_derives(self, overrides):
+        spec = MachineSpec().derive(**overrides)
+        assert MachineSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=40, deadline=None)
+    @given(override_sets)
+    def test_digest_matches_equality(self, overrides):
+        spec = MachineSpec().derive(**overrides)
+        again = MachineSpec().derive(**overrides)
+        assert spec == again
+        assert spec.digest() == again.digest()
+        if overrides:
+            assert (spec == MachineSpec()) == \
+                (spec.digest() == MachineSpec().digest())
+
+    @settings(max_examples=20, deadline=None)
+    @given(override_sets)
+    def test_derive_never_mutates_base(self, overrides):
+        base = MachineSpec()
+        digest_before = base.digest()
+        base.derive(**overrides)
+        assert base.digest() == digest_before
