@@ -52,13 +52,15 @@ class ExperimentRunner:
                  executor=None, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  progress=None, session=None,
-                 spec: Optional[MachineSpec] = None) -> None:
+                 spec: Optional[MachineSpec] = None,
+                 backend: str = "cycle") -> None:
         # Imported here: repro.api.session itself builds runners.
         from repro.api.session import Session
 
         self.benchmarks = benchmarks or suite_names()
         self.instructions = instructions
         self.spec = spec
+        self.backend = backend
         if session is None:
             if executor is None:
                 executor = make_executor(workers=jobs, cache=cache,
@@ -72,7 +74,7 @@ class ExperimentRunner:
         """The job spec describing one (benchmark, policy) simulation."""
         return workload_job(benchmark, policy,
                             instructions=self.instructions,
-                            spec=self.spec)
+                            spec=self.spec, backend=self.backend)
 
     def run(self, benchmark: str, policy: CommitPolicy) -> SimResult:
         """Run (or fetch from cache) one benchmark under one policy."""

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import (Any, Dict, List, Mapping, Optional, Sequence, Union)
 
 from repro.api.registry import ATTACKS, WORKLOADS
+from repro.backends import BACKENDS
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig
 from repro.errors import ConfigError
@@ -80,6 +81,7 @@ class Scenario:
     hierarchy_config: Optional[HierarchyConfig] = None
     safespec_config: Optional[SafeSpecConfig] = None
     spec: Optional[MachineSpec] = None
+    backend: str = "cycle"
     serial_group: Optional[str] = None
     label: str = ""
 
@@ -87,6 +89,7 @@ class Scenario:
         ensure_single_config_style(self.spec, self.core_config,
                                    self.hierarchy_config,
                                    self.safespec_config)
+        BACKENDS.entry(self.backend)    # unknown backends fail here
 
     @classmethod
     def workload(cls, benchmark: str,
@@ -96,6 +99,7 @@ class Scenario:
                  hierarchy_config: Optional[HierarchyConfig] = None,
                  safespec_config: Optional[SafeSpecConfig] = None,
                  spec: Optional[MachineSpec] = None,
+                 backend: str = "cycle",
                  label: str = "", **params: Any) -> "Scenario":
         """A scenario running one registered suite benchmark."""
         WORKLOADS.entry(benchmark)      # unknown names fail here, loudly
@@ -103,7 +107,8 @@ class Scenario:
                    instructions=instructions, params=params,
                    core_config=core_config,
                    hierarchy_config=hierarchy_config,
-                   safespec_config=safespec_config, spec=spec, label=label)
+                   safespec_config=safespec_config, spec=spec,
+                   backend=backend, label=label)
 
     @classmethod
     def attack(cls, name: str,
@@ -111,6 +116,7 @@ class Scenario:
                secret: int = 42,
                instructions: int = DEFAULT_INSTRUCTION_BUDGET,
                spec: Optional[MachineSpec] = None,
+               backend: str = "cycle",
                serial_group: Optional[str] = None,
                label: str = "", **params: Any) -> "Scenario":
         """A scenario running one registered attack PoC.
@@ -122,16 +128,19 @@ class Scenario:
         return cls(kind=ATTACK, target=name, policy=policy,
                    instructions=instructions,
                    params={"secret": secret, **params},
-                   spec=spec, serial_group=serial_group, label=label)
+                   spec=spec, backend=backend,
+                   serial_group=serial_group, label=label)
 
     def job(self) -> SimJob:
         """Lower this scenario to its content-hashable job.
 
         A spec-carrying scenario lowers the spec into the job's
         ``params`` (full dict + digest), so the hardware shape flows
-        into the content hash and across executor workers.
+        into the content hash and across executor workers; the
+        execution backend lands there too.
         """
         params = dict(self.params)
+        params["backend"] = self.backend
         params.update(spec_params(self.spec))
         return SimJob(kind=self.kind, target=self.target, policy=self.policy,
                       instructions=self.instructions,
@@ -153,12 +162,15 @@ class SweepPoint:
     policy: CommitPolicy
     variant: str
     spec: str = DEFAULT_VARIANT
+    backend: str = "cycle"
 
     def describe(self) -> str:
         base = f"{self.benchmark}/{self.policy.value}/{self.variant}"
-        if self.spec == DEFAULT_VARIANT:
-            return base
-        return f"{base}/{self.spec}"
+        if self.spec != DEFAULT_VARIANT:
+            base = f"{base}/{self.spec}"
+        if self.backend != "cycle":
+            base = f"{base}@{self.backend}"
+        return base
 
 
 class Sweep:
@@ -171,9 +183,12 @@ class Sweep:
     the overrides defining it — whole config objects under the legacy
     keys (``core_config``, ``hierarchy_config``, ``safespec_config``)
     or dotted :meth:`MachineSpec.derive` paths (``"core.rob_entries"``),
-    which apply on top of each spec in the grid.  Benchmarks, preset
-    names and override paths are validated up front so a typo fails
-    before any simulation runs.
+    which apply on top of each spec in the grid.  ``backends`` is the
+    execution-backend axis (:data:`repro.backends.BACKENDS` names, e.g.
+    ``("cycle", "fast")``) — one grid cell per backend, each with its
+    own cache identity.  Benchmarks, preset names, backend names and
+    override paths are validated up front so a typo fails before any
+    simulation runs.
     """
 
     def __init__(self, benchmarks: Sequence[str],
@@ -182,11 +197,15 @@ class Sweep:
                  variants: Optional[Mapping[str, Mapping[str, Any]]] = None,
                  specs: Optional[Union[Sequence[str],
                                        Mapping[str, MachineSpec]]] = None,
+                 backends: Sequence[str] = ("cycle",),
                  ) -> None:
         if not benchmarks:
             raise ConfigError("sweep needs at least one benchmark")
         if not policies:
             raise ConfigError("sweep needs at least one policy")
+        if not backends:
+            raise ConfigError("sweep needs at least one backend "
+                              "(omit `backends` for the cycle core)")
         if variants is not None and not variants:
             # An explicitly empty axis is a degenerate grid, not a
             # request for the default variant — reject it like the
@@ -198,8 +217,11 @@ class Sweep:
                               "(omit `specs` for the default machine)")
         for benchmark in benchmarks:
             WORKLOADS.entry(benchmark)
+        for backend in backends:
+            BACKENDS.entry(backend)
         self.benchmarks = list(benchmarks)
         self.policies = list(policies)
+        self.backends = list(backends)
         self.instructions = instructions
         # None marks "no spec attached": the cell runs exactly the
         # legacy default-machine job (same cache key as before specs
@@ -234,12 +256,13 @@ class Sweep:
 
     def points(self) -> List[SweepPoint]:
         """Grid cells in expansion order (benchmark, policy, spec,
-        variant)."""
-        return [SweepPoint(benchmark, policy, variant, spec)
+        variant, backend)."""
+        return [SweepPoint(benchmark, policy, variant, spec, backend)
                 for benchmark in self.benchmarks
                 for policy in self.policies
                 for spec in self.specs
-                for variant in self.variants]
+                for variant in self.variants
+                for backend in self.backends]
 
     def _scenario_for(self, point: SweepPoint) -> Scenario:
         base = self.specs[point.spec]
@@ -253,6 +276,7 @@ class Sweep:
             # pre-spec sweep.
             return Scenario.workload(point.benchmark, point.policy,
                                      instructions=self.instructions,
+                                     backend=point.backend,
                                      label=point.describe(), **legacy)
         spec = base if base is not None else MachineSpec()
         merged = {_OVERRIDE_SECTIONS[key]: value
@@ -262,6 +286,7 @@ class Sweep:
             spec = spec.derive(**merged)
         return Scenario.workload(point.benchmark, point.policy,
                                  instructions=self.instructions,
+                                 backend=point.backend,
                                  label=point.describe(), spec=spec)
 
     def scenarios(self) -> List[Scenario]:
@@ -274,4 +299,5 @@ class Sweep:
 
     def __len__(self) -> int:
         return (len(self.benchmarks) * len(self.policies)
-                * len(self.specs) * len(self.variants))
+                * len(self.specs) * len(self.variants)
+                * len(self.backends))

@@ -107,20 +107,23 @@ class Session:
     def matrix(self, attacks: Optional[Sequence[str]] = None,
                policies: Optional[Sequence[CommitPolicy]] = None,
                secret: int = 42,
-               spec: Optional["MachineSpec"] = None
+               spec: Optional["MachineSpec"] = None,
+               backend: str = "cycle"
                ) -> Dict[str, Dict[str, Any]]:
         """Every (attack, policy) outcome — the paper's Tables III & IV.
 
-        ``spec`` selects the victim machine's hardware shape for every
-        cell.  Returns ``{attack_name: {policy_value: AttackResult}}``
-        in registry (table) order.
+        ``spec`` selects the victim machine's hardware shape and
+        ``backend`` the execution backend for every cell.  Returns
+        ``{attack_name: {policy_value: AttackResult}}`` in registry
+        (table) order.
         """
         from repro.api.registry import ATTACKS
         from repro.attacks.runner import attack_result_from_sim
 
         names = list(attacks) if attacks is not None else ATTACKS.names()
         chosen = list(policies) if policies else list(MATRIX_POLICIES)
-        scenarios = [Scenario.attack(name, policy, secret=secret, spec=spec)
+        scenarios = [Scenario.attack(name, policy, secret=secret, spec=spec,
+                                     backend=backend)
                      for name in names for policy in chosen]
         results = self.run(scenarios)
         matrix: Dict[str, Dict[str, Any]] = {name: {} for name in names}
@@ -131,29 +134,33 @@ class Session:
 
     def experiment(self, benchmarks: Optional[List[str]] = None,
                    instructions: int = DEFAULT_INSTRUCTION_BUDGET,
-                   spec: Optional["MachineSpec"] = None):
+                   spec: Optional["MachineSpec"] = None,
+                   backend: str = "cycle"):
         """An :class:`~repro.analysis.experiment.ExperimentRunner` whose
         simulations run through this session."""
         from repro.analysis.experiment import ExperimentRunner
 
         return ExperimentRunner(benchmarks=benchmarks,
                                 instructions=instructions, session=self,
-                                spec=spec)
+                                spec=spec, backend=backend)
 
     def figures(self, benchmarks: Optional[List[str]] = None,
                 instructions: int = DEFAULT_INSTRUCTION_BUDGET,
-                spec: Optional["MachineSpec"] = None
+                spec: Optional["MachineSpec"] = None,
+                backend: str = "cycle"
                 ) -> Dict[str, Dict[str, Any]]:
         """Every performance figure's series, keyed by figure number.
 
         Submits the whole (benchmark x policy) grid as one batch, so a
         parallel session fans the full sweep out at once; ``spec``
-        selects the hardware shape for every simulation.
+        selects the hardware shape (and ``backend`` the execution
+        backend) for every simulation.
         """
         from repro.analysis.experiment import FIGURE_POLICIES
         from repro.analysis.report import figures_data
 
-        runner = self.experiment(benchmarks, instructions, spec=spec)
+        runner = self.experiment(benchmarks, instructions, spec=spec,
+                                 backend=backend)
         runner.run_all(FIGURE_POLICIES)
         return figures_data(runner)
 
@@ -167,14 +174,19 @@ class Session:
                policies: Optional[Sequence[CommitPolicy]] = None,
                profile: str = "mixed",
                instructions: int = DEFAULT_INSTRUCTION_BUDGET,
-               spec: Optional["MachineSpec"] = None):
+               spec: Optional["MachineSpec"] = None,
+               backend: str = "cycle"):
         """Differentially verify ``count`` fuzzed programs (seeds
         ``seed .. seed+count-1``) against the in-order reference oracle
         under every policy, plus the SafeSpec leakage invariants.
 
+        ``backend`` selects which execution backend is held to the
+        oracle — ``"fast"`` runs the same cases through the
+        fast-functional core (the cross-backend accuracy contract).
+
         Cases are ordinary jobs: a parallel session fans them out, and
-        unchanged (profile, seed, policy, spec) verdicts replay from
-        the result cache.  Returns a
+        unchanged (profile, seed, policy, spec, backend) verdicts
+        replay from the result cache.  Returns a
         :class:`~repro.verify.harness.VerifyReport`.
         """
         from repro.verify.harness import (VerifyReport, verdict_from_sim,
@@ -184,7 +196,8 @@ class Session:
             raise ConfigError("verify needs count >= 1")
         chosen = list(policies) if policies else list(MATRIX_POLICIES)
         jobs = [verify_job(s, policy, profile=profile,
-                           instructions=instructions, spec=spec)
+                           instructions=instructions, spec=spec,
+                           backend=backend)
                 for s in range(seed, seed + count)
                 for policy in chosen]
         results = self.executor.run(jobs)

@@ -95,14 +95,15 @@ def _patch_fn_base(layout: AttackLayout, victim: Program) -> Program:
 
 @register_attack("icache")
 def run_icache_variant(policy: CommitPolicy, secret: int = 42,
-                       spec: Optional[MachineSpec] = None) -> AttackResult:
+                       spec: Optional[MachineSpec] = None,
+                       backend: str = "cycle") -> AttackResult:
     """Run the I-cache Spectre variant under the given commit policy."""
     if not 1 <= secret <= 255:
         raise ValueError(
             f"secret must be in 1..255 (slot 0 is the training pad), "
             f"got {secret}")
     layout = AttackLayout()
-    machine = Machine.from_spec(spec, policy=policy)
+    machine = Machine.from_spec(spec, policy=policy, backend=backend)
     layout.map_user_memory(machine)
     machine.write_word(layout.size_addr, 16)
     machine.write_word(layout.secret_addr, secret)

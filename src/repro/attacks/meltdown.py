@@ -63,12 +63,13 @@ def build_attacker(layout: AttackLayout) -> Program:
 
 @register_attack("meltdown", branch_free=True)
 def run_meltdown(policy: CommitPolicy, secret: int = 42,
-                 spec: Optional[MachineSpec] = None) -> AttackResult:
+                 spec: Optional[MachineSpec] = None,
+                 backend: str = "cycle") -> AttackResult:
     """Run the full Meltdown attack under the given commit policy."""
     if not 0 <= secret <= 255:
         raise ValueError(f"secret must be a byte, got {secret}")
     layout = AttackLayout()
-    machine = Machine.from_spec(spec, policy=policy)
+    machine = Machine.from_spec(spec, policy=policy, backend=backend)
     layout.map_user_memory(machine)
     layout.map_kernel_memory(machine)
     machine.hierarchy.memory.write_word(layout.kernel, secret)

@@ -63,17 +63,22 @@ def expected_closed(attack: str, policy: CommitPolicy) -> bool:
 
 def run_attack_by_name(name: str, policy: CommitPolicy,
                        secret: int = 42,
-                       spec: Optional[MachineSpec] = None) -> AttackResult:
+                       spec: Optional[MachineSpec] = None,
+                       backend: str = "cycle") -> AttackResult:
     """Run one registered attack by name.
 
-    ``spec`` selects the victim machine's hardware shape; it is only
-    forwarded when given, so externally registered attacks with the
-    classic ``(policy, secret)`` signature keep working spec-less.
+    ``spec`` selects the victim machine's hardware shape and ``backend``
+    the execution backend; each is only forwarded when non-default, so
+    externally registered attacks with the classic ``(policy, secret)``
+    signature keep working spec-less.
     """
     attack = api_registry.ATTACKS.get(name)
-    if spec is None:
-        return attack(policy, secret)
-    return attack(policy, secret, spec=spec)
+    kwargs = {}
+    if spec is not None:
+        kwargs["spec"] = spec
+    if backend != "cycle":
+        kwargs["backend"] = backend
+    return attack(policy, secret, **kwargs)
 
 
 def run_attack_job(job: SimJob) -> SimResult:
@@ -84,8 +89,10 @@ def run_attack_job(job: SimJob) -> SimResult:
     into a serializable :class:`~repro.exec.job.SimResult`.
     """
     secret = int(job.params.get("secret", 42))
+    backend = str(job.params.get("backend", "cycle"))
     outcome = run_attack_by_name(job.target, job.policy, secret,
-                                 spec=machine_spec_from_params(job.params))
+                                 spec=machine_spec_from_params(job.params),
+                                 backend=backend)
     return SimResult(
         job_key=job.key(),
         kind=job.kind,
@@ -111,7 +118,9 @@ def attack_result_from_sim(result: SimResult) -> AttackResult:
 def security_matrix(attacks: Optional[List[str]] = None,
                     policies: Optional[List[CommitPolicy]] = None,
                     secret: int = 42,
-                    executor=None) -> Dict[str, Dict[str, AttackResult]]:
+                    executor=None,
+                    backend: str = "cycle"
+                    ) -> Dict[str, Dict[str, AttackResult]]:
     """Run every (attack, policy) pair — Tables III and IV.
 
     Legacy wrapper over :meth:`repro.api.session.Session.matrix`; pass
@@ -125,7 +134,8 @@ def security_matrix(attacks: Optional[List[str]] = None,
         session = Session(executor=executor)
     else:
         session = Session(cache=False)
-    return session.matrix(attacks=attacks, policies=policies, secret=secret)
+    return session.matrix(attacks=attacks, policies=policies, secret=secret,
+                          backend=backend)
 
 
 def render_matrix(matrix: Dict[str, Dict[str, AttackResult]]) -> str:

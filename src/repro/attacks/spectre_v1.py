@@ -55,12 +55,13 @@ def build_victim(layout: AttackLayout) -> Program:
 
 @register_attack("spectre_v1")
 def run_spectre_v1(policy: CommitPolicy, secret: int = 42,
-                   spec: Optional[MachineSpec] = None) -> AttackResult:
+                   spec: Optional[MachineSpec] = None,
+                   backend: str = "cycle") -> AttackResult:
     """Run the full Spectre v1 attack under the given commit policy."""
     if not 0 <= secret <= 255:
         raise ValueError(f"secret must be a byte, got {secret}")
     layout = AttackLayout()
-    machine = Machine.from_spec(spec, policy=policy)
+    machine = Machine.from_spec(spec, policy=policy, backend=backend)
     layout.map_user_memory(machine)
     machine.write_word(layout.size_addr, 16)
     machine.write_word(layout.secret_addr, secret)

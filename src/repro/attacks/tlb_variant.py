@@ -60,7 +60,8 @@ def build_dtlb_victim(layout: AttackLayout) -> Program:
 
 
 def run_dtlb_variant(policy: CommitPolicy, secret: int = 42,
-                     spec: Optional[MachineSpec] = None) -> AttackResult:
+                     spec: Optional[MachineSpec] = None,
+                     backend: str = "cycle") -> AttackResult:
     """Run the dTLB Spectre variant under the given commit policy.
 
     Training runs architecturally execute the transmit with
@@ -71,7 +72,7 @@ def run_dtlb_variant(policy: CommitPolicy, secret: int = 42,
     if secret == 0:
         secret = 1
     layout = AttackLayout()
-    machine = Machine.from_spec(spec, policy=policy)
+    machine = Machine.from_spec(spec, policy=policy, backend=backend)
     layout.map_user_memory(machine)
     machine.map_user_range(_TLB_PROBE_BASE, _SLOTS * PAGE)
     machine.write_word(layout.size_addr, 16)
@@ -151,13 +152,14 @@ def _patch_fn_base(victim: Program) -> Program:
 
 @register_attack("itlb")
 def run_itlb_variant(policy: CommitPolicy, secret: int = 42,
-                     spec: Optional[MachineSpec] = None) -> AttackResult:
+                     spec: Optional[MachineSpec] = None,
+                     backend: str = "cycle") -> AttackResult:
     """Run the iTLB Spectre variant under the given commit policy."""
     secret = secret % _SLOTS
     if secret == 0:
         secret = 1  # slot 0 is the training pad
     layout = AttackLayout()
-    machine = Machine.from_spec(spec, policy=policy)
+    machine = Machine.from_spec(spec, policy=policy, backend=backend)
     layout.map_user_memory(machine)
     machine.write_word(layout.size_addr, 16)
     machine.write_word(layout.secret_addr, secret)

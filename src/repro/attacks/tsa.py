@@ -103,7 +103,8 @@ def _prime_dtlb(machine: Machine, round_index: int) -> None:
 
 
 def _run_tsa(policy: CommitPolicy, secret_bit: int,
-             spec: Optional[MachineSpec]) -> AttackResult:
+             spec: Optional[MachineSpec],
+             backend: str = "cycle") -> AttackResult:
     layout = AttackLayout()
     if policy is CommitPolicy.BASELINE:
         # TSAs attack the shadow structures; without SafeSpec there is no
@@ -112,7 +113,7 @@ def _run_tsa(policy: CommitPolicy, secret_bit: int,
             attack="transient", policy=policy, secret=secret_bit,
             leaked=None,
             details={"note": "no shadow structures under the baseline"})
-    machine = Machine.from_spec(spec, policy=policy)
+    machine = Machine.from_spec(spec, policy=policy, backend=backend)
     layout.map_user_memory(machine)
     machine.map_user_range(_SPY_PAGE_A, PAGE)
     machine.map_user_range(_SPY_PAGE_B, PAGE)
@@ -164,7 +165,8 @@ def _run_tsa(policy: CommitPolicy, secret_bit: int,
 
 
 def _run_tsa_channel(policy: CommitPolicy, secret: int,
-                     spec: Optional[MachineSpec]) -> AttackResult:
+                     spec: Optional[MachineSpec],
+                     backend: str = "cycle") -> AttackResult:
     """Run the TSA channel for both bit values and report honestly.
 
     A covert channel only exists if the receiver can distinguish a 0 from
@@ -173,7 +175,8 @@ def _run_tsa_channel(policy: CommitPolicy, secret: int,
     receiver reads 0 regardless of the bit — zero information.)
     """
     secret_bit = secret & 1
-    results = {bit: _run_tsa(policy, bit, spec) for bit in (0, 1)}
+    results = {bit: _run_tsa(policy, bit, spec, backend)
+               for bit in (0, 1)}
     channel_works = all(results[bit].leaked == bit for bit in (0, 1))
     observed = results[secret_bit]
     return AttackResult(
@@ -191,7 +194,8 @@ def _run_tsa_channel(policy: CommitPolicy, secret: int,
 
 @register_attack("transient")
 def run_tsa(policy: CommitPolicy, secret: int = 1,
-            spec: Optional[MachineSpec] = None) -> AttackResult:
+            spec: Optional[MachineSpec] = None,
+            backend: str = "cycle") -> AttackResult:
     """TSA against the paper's mitigated configuration (SECURE sizing).
 
     With worst-case shadow sizing the Trojan cannot create contention,
@@ -206,7 +210,7 @@ def run_tsa(policy: CommitPolicy, secret: int = 1,
         base = base.derive(safespec=SafeSpecConfig(
             policy=policy, sizing=SizingMode.SECURE,
             full_policy=FullPolicy.DROP))
-    return _run_tsa_channel(policy, secret, base)
+    return _run_tsa_channel(policy, secret, base, backend)
 
 
 def run_tsa_vulnerable(policy: CommitPolicy = CommitPolicy.WFC,

@@ -16,10 +16,11 @@ tracks simulator efficiency (simulated cycles per unit of interpreter
 work) rather than raw host speed.
 """
 
-from repro.bench.compare import ComparisonReport, compare_payloads
+from repro.bench.compare import (ComparisonReport, backend_speedups,
+                                 compare_payloads, render_speedups)
 from repro.bench.harness import (BENCH_SCHEMA_VERSION, BenchHarness,
                                  BenchSpec, FULL_SPECS, QUICK_SPECS,
-                                 payload_fingerprint)
+                                 payload_fingerprint, with_backend)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -28,6 +29,9 @@ __all__ = [
     "ComparisonReport",
     "FULL_SPECS",
     "QUICK_SPECS",
+    "backend_speedups",
     "compare_payloads",
     "payload_fingerprint",
+    "render_speedups",
+    "with_backend",
 ]

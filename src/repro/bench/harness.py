@@ -31,10 +31,11 @@ import json
 import statistics as _stats
 import subprocess
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.scenario import Scenario
+from repro.backends import DEFAULT_BACKEND
 from repro.core.policy import CommitPolicy
 from repro.exec.cache import NullCache
 from repro.exec.executor import execute_job
@@ -56,7 +57,9 @@ class BenchSpec:
     ``machine_spec`` selects the hardware shape (CLI ``--preset`` /
     ``--set``); attaching one changes the job key, so the comparator
     marks baseline rows stale rather than gating scores across
-    different machines.
+    different machines.  ``backend`` selects the execution backend
+    (``repro.backends``); non-default backends carry their name as a
+    row-name suffix so cycle and fast rows coexist in one payload.
     """
 
     name: str
@@ -64,11 +67,13 @@ class BenchSpec:
     policy: CommitPolicy
     instructions: int
     machine_spec: Optional[MachineSpec] = None
+    backend: str = DEFAULT_BACKEND
 
     def scenario(self) -> Scenario:
         return Scenario.workload(self.benchmark, self.policy,
                                  instructions=self.instructions,
-                                 spec=self.machine_spec)
+                                 spec=self.machine_spec,
+                                 backend=self.backend)
 
     def job(self) -> SimJob:
         """The content-hashed job this spec times (see repro.api)."""
@@ -83,17 +88,34 @@ def _specs(entries: Sequence[Tuple[str, CommitPolicy, int]]
         for bench, policy, instructions in entries)
 
 
+def with_backend(specs: Sequence[BenchSpec],
+                 backend: str) -> Tuple[BenchSpec, ...]:
+    """The same workload rows retargeted to another execution backend.
+
+    Non-default backends get a ``_<backend>`` row-name suffix, keeping
+    cycle and fast rows distinct in payloads and in the committed
+    baseline.
+    """
+    if backend == DEFAULT_BACKEND:
+        return tuple(specs)
+    return tuple(replace(spec, backend=backend,
+                         name=f"{spec.name}_{backend}")
+                 for spec in specs)
+
+
 # The CI smoke set: the Figure 11 IPC workload pair (insecure baseline
 # vs WFC SafeSpec) over three suite benchmarks, small enough for a
 # minutes-scale CI job.  benchmarks/baseline.json is generated from
-# exactly this set.
+# exactly this set (both backends).  The budget is large enough that
+# per-job fixed costs (machine build, memory image, closure lowering)
+# do not dominate the fast backend's wall time.
 QUICK_SPECS = _specs([
-    ("namd", CommitPolicy.BASELINE, 4_000),
-    ("namd", CommitPolicy.WFC, 4_000),
-    ("povray", CommitPolicy.BASELINE, 4_000),
-    ("povray", CommitPolicy.WFC, 4_000),
-    ("mcf", CommitPolicy.BASELINE, 4_000),
-    ("mcf", CommitPolicy.WFC, 4_000),
+    ("namd", CommitPolicy.BASELINE, 32_000),
+    ("namd", CommitPolicy.WFC, 32_000),
+    ("povray", CommitPolicy.BASELINE, 32_000),
+    ("povray", CommitPolicy.WFC, 32_000),
+    ("mcf", CommitPolicy.BASELINE, 32_000),
+    ("mcf", CommitPolicy.WFC, 32_000),
 ])
 
 # The fuller sweep for local performance work.
@@ -174,8 +196,12 @@ class BenchHarness:
             "benchmark": spec.benchmark,
             "policy": spec.policy.value,
             "instructions": spec.instructions,
-            "machine_spec_digest": (spec.machine_spec.short_digest()
-                                    if spec.machine_spec else None),
+            "backend": spec.backend,
+            # Spec-less rows run the default machine, so they carry the
+            # default spec's digest rather than null — every row names
+            # the hardware shape it timed.
+            "machine_spec_digest": (spec.machine_spec
+                                    or MachineSpec()).short_digest(),
             "job_key": job.key(),
             "cycles": cycles,
             "sim_instructions": result.instructions,

@@ -16,11 +16,15 @@ Commands:
 * ``verify [--count N] [--seed N] [--profile NAME]`` — differentially
   verify fuzzed programs against the in-order reference oracle under
   every policy (``repro.verify``), checking the SafeSpec leakage
-  invariants; the exit code counts failing cases.  Reproduce one
+  invariants; the exit code counts failing cases.  ``--backend fast``
+  holds the fast backend to the oracle, ``--diff-backends cycle,fast``
+  also cross-checks the backends against each other.  Reproduce one
   failing case with ``repro verify --seed N --count 1 --format json``.
-* ``bench [--quick]`` — time the simulator (``repro.bench``), emit a
-  schema-versioned ``BENCH_<rev>.json`` and gate against the committed
-  ``benchmarks/baseline.json`` (exit 1 on a >10% slowdown).
+* ``bench [--quick] [--backend cycle,fast]`` — time the simulator
+  (``repro.bench``), emit a schema-versioned ``BENCH_<rev>.json`` and
+  gate against the committed ``benchmarks/baseline.json`` (exit 1 on a
+  >10% slowdown); with a non-cycle backend it also reports the
+  fast-vs-cycle speedup (``--min-speedup X`` gates on it).
 * ``table5`` — the hardware-overhead table.
 * ``asm <file>`` — assemble a text program and print its disassembly.
 
@@ -99,6 +103,18 @@ def _add_spec_options(parser: argparse.ArgumentParser) -> None:
                              "(repeatable), e.g. --set core.rob_entries=96")
 
 
+def _add_backend_option(parser: argparse.ArgumentParser,
+                        plural: bool = False) -> None:
+    """The execution-backend flag shared by the simulation commands."""
+    from repro.backends import backend_names
+
+    names = "/".join(backend_names())
+    extra = " (comma-separated for several)" if plural else ""
+    parser.add_argument("--backend", default="cycle", metavar="NAME",
+                        help=f"execution backend: {names} "
+                             f"(default: cycle){extra}")
+
+
 def _resolve_spec(args: argparse.Namespace) -> Optional[MachineSpec]:
     """The MachineSpec the spec flags describe (None = legacy default).
 
@@ -131,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="text")
     _add_exec_options(attack)
     _add_spec_options(attack)
+    _add_backend_option(attack)
 
     matrix = sub.add_parser("matrix",
                             help="run every attack under every policy "
@@ -139,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="text")
     _add_exec_options(matrix)
     _add_spec_options(matrix)
+    _add_backend_option(matrix)
 
     # ``workload`` requires a name; ``run`` is the same command with the
     # name defaulting to the whole suite.
@@ -159,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                               default="text")
         _add_exec_options(workload)
         _add_spec_options(workload)
+        _add_backend_option(workload)
 
     figures = sub.add_parser("figures",
                              help="regenerate the performance figures")
@@ -202,8 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-case instruction budget")
     verify.add_argument("--format", choices=["text", "json"],
                         default="text")
+    verify.add_argument("--diff-backends", default=None,
+                        metavar="A,B",
+                        help="cross-backend differential: run every case "
+                             "on each named backend and compare (e.g. "
+                             "cycle,fast); overrides --backend")
     _add_exec_options(verify)
     _add_spec_options(verify)
+    _add_backend_option(verify)
 
     bench = sub.add_parser(
         "bench",
@@ -230,7 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not read/write the on-disk result cache "
                             "for accounting")
     bench.add_argument("--cache-dir", default=None, metavar="DIR")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       metavar="X",
+                       help="fail unless the geomean non-cycle backend "
+                            "speedup is at least X (e.g. 5)")
     _add_spec_options(bench)
+    _add_backend_option(bench, plural=True)
 
     sub.add_parser("table5", help="hardware overhead table (Table V)")
 
@@ -276,7 +306,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         session = _make_session(args)
     spec = _resolve_spec(args)
     scenarios = [Scenario.attack(name, policy, secret=args.secret,
-                                 spec=spec)
+                                 spec=spec, backend=args.backend)
                  for name in names for policy in policies]
     results = session.run(scenarios)
     failures = 0
@@ -315,7 +345,8 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
     session = _make_session(args)
-    matrix = session.matrix(spec=_resolve_spec(args))
+    matrix = session.matrix(spec=_resolve_spec(args),
+                            backend=args.backend)
     if args.format == "json":
         payload = {
             "schema": SCHEMA_VERSION,
@@ -339,7 +370,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args)
     results = session.run(
         [Scenario.workload(name, args.policy,
-                           instructions=args.instructions, spec=spec)
+                           instructions=args.instructions, spec=spec,
+                           backend=args.backend)
          for name in names])
     if args.format == "json":
         payload = {
@@ -399,11 +431,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import fuzz_profile
 
     fuzz_profile(args.profile)      # unknown profiles fail before any run
+    backend = args.diff_backends or args.backend
     session = _make_session(args)
     report = session.verify(
         count=args.count, seed=args.seed,
         policies=args.policy, profile=args.profile,
-        instructions=args.instructions, spec=_resolve_spec(args))
+        instructions=args.instructions, spec=_resolve_spec(args),
+        backend=backend)
     if args.format == "json":
         # report.to_payload() contributes fuzz_version and the verdicts.
         payload = {
@@ -411,6 +445,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             "profile": args.profile,
             "seed": args.seed,
             "count": args.count,
+            "backend": backend,
             **report.to_payload(),
         }
         json.dump(payload, sys.stdout, indent=2)
@@ -426,8 +461,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
+    from repro.backends import BACKENDS
     from repro.bench import (BenchHarness, FULL_SPECS, QUICK_SPECS,
-                             compare_payloads)
+                             backend_speedups, compare_payloads,
+                             render_speedups, with_backend)
     from repro.bench.harness import dump_payload, load_payload
     from repro.exec.cache import NullCache, ResultCache
 
@@ -444,6 +481,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
         specs = tuple(dataclasses.replace(s, machine_spec=machine_spec)
                       for s in specs)
+    backends = [name.strip() for name in args.backend.split(",")
+                if name.strip()]
+    for name in backends:
+        BACKENDS.entry(name)        # unknown backends fail before timing
+    specs = tuple(spec for backend in backends
+                  for spec in with_backend(specs, backend))
 
     def progress(done, total, spec, row):
         print(f"[{done}/{total}] {spec.name}: "
@@ -456,20 +499,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"wrote {output} "
           f"(calibration {payload['calibration']['kloops_per_sec']:,.0f} "
           f"kloops/s)", file=sys.stderr)
+    baseline = (load_payload(args.baseline)
+                if os.path.exists(args.baseline) else None)
+    # Fast-vs-cycle speedup: reported whenever a non-cycle backend was
+    # timed; reference scores come from this run's cycle rows, or from
+    # the committed baseline when only the fast backend was timed.
+    speedups = backend_speedups(payload, baseline)
+    speedup_failed = False
+    if speedups["pairs"] or args.min_speedup is not None:
+        print(render_speedups(speedups))
+        if args.min_speedup is not None:
+            geomean = speedups.get("geomean", 0.0)
+            speedup_failed = geomean < args.min_speedup
+            print(f"speedup gate (>= {args.min_speedup:.1f}x): "
+                  f"{'FAIL' if speedup_failed else 'PASS'}")
     if args.update_baseline:
         dump_payload(payload, args.baseline)
         print(f"updated baseline {args.baseline}", file=sys.stderr)
-        return 0
+        return 1 if speedup_failed else 0
     if args.no_compare:
-        return 0
-    if not os.path.exists(args.baseline):
+        return 1 if speedup_failed else 0
+    if baseline is None:
         print(f"no baseline at {args.baseline}; skipping the gate "
               f"(write one with --update-baseline)", file=sys.stderr)
-        return 0
-    report = compare_payloads(payload, load_payload(args.baseline),
+        return 1 if speedup_failed else 0
+    report = compare_payloads(payload, baseline,
                               threshold=args.threshold)
     print(report.render())
-    return 0 if report.passed else 1
+    return 0 if report.passed and not speedup_failed else 1
 
 
 def _cmd_specs(args: argparse.Namespace) -> int:

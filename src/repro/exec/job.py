@@ -42,7 +42,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
 #     batch as an older mispredicting branch could redirect fetch) —
 #     simulator semantics changed, invalidating cached results; the
 #     ``verify`` job kind also lands in this schema.
-SCHEMA_VERSION = 4
+# v5: the execution backend (``"cycle"`` / ``"fast"``) joined the job
+#     spec: every job's ``params`` now carries a ``backend`` key, so
+#     fast-functional and cycle-accurate results can never share a
+#     cache entry (their cycle counts differ within the documented
+#     tolerance).
+SCHEMA_VERSION = 5
 
 # Single source of truth for the per-run budget; the workload suite
 # re-exports it (suite imports this module, never the reverse).
@@ -278,26 +283,30 @@ def workload_job(benchmark: str, policy: CommitPolicy,
                  core_config: Optional[CoreConfig] = None,
                  hierarchy_config: Optional[HierarchyConfig] = None,
                  safespec_config: Optional[SafeSpecConfig] = None,
-                 spec: Optional["MachineSpec"] = None) -> SimJob:
+                 spec: Optional["MachineSpec"] = None,
+                 backend: str = "cycle") -> SimJob:
     """A job running one suite benchmark under one policy.
 
     ``spec`` (a :class:`~repro.spec.MachineSpec`) is the declarative
     hardware axis: its dict + digest land in ``params`` and flow into
     the job hash.  It is mutually exclusive with the loose per-config
-    overrides.
+    overrides.  ``backend`` selects the execution backend and always
+    lands in ``params`` so the two backends' results never collide in
+    the cache.
     """
     ensure_single_config_style(spec, core_config, hierarchy_config,
                                safespec_config)
     return SimJob(kind=WORKLOAD, target=benchmark, policy=policy,
                   instructions=instructions,
-                  params=spec_params(spec),
+                  params={"backend": backend, **spec_params(spec)},
                   core_config=core_config,
                   hierarchy_config=hierarchy_config,
                   safespec_config=safespec_config)
 
 
 def attack_job(name: str, policy: CommitPolicy, secret: int = 42,
-               spec: Optional["MachineSpec"] = None) -> SimJob:
+               spec: Optional["MachineSpec"] = None,
+               backend: str = "cycle") -> SimJob:
     """A job running one attack PoC under one policy.
 
     Each attack run builds and mistrains its own machines from the spec
@@ -307,7 +316,8 @@ def attack_job(name: str, policy: CommitPolicy, secret: int = 42,
     ``serial_group`` to stay on one worker.
     """
     return SimJob(kind=ATTACK, target=name, policy=policy,
-                  params={"secret": secret, **spec_params(spec)})
+                  params={"secret": secret, "backend": backend,
+                          **spec_params(spec)})
 
 
 def ensure_single_config_style(spec: Optional["MachineSpec"],

@@ -18,6 +18,7 @@ import dataclasses
 from typing import Dict, Optional
 
 from repro.api.registry import PREDICTORS
+from repro.backends import DEFAULT_BACKEND, BACKENDS
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig, SafeSpecEngine
 from repro.frontend.btb import BranchTargetBuffer, BTBConfig
@@ -25,7 +26,7 @@ from repro.isa.program import Program
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.memory.paging import PagePermissions, PageTable, PrivilegeLevel
 from repro.pipeline.config import CoreConfig
-from repro.pipeline.core import Core, RunResult
+from repro.pipeline.core import RunResult
 from repro.spec import MachineSpec
 
 
@@ -44,6 +45,9 @@ class Machine:
             ``policy`` overrides the ``policy`` argument.  Use this to
             select sizing modes / full policies for the TSA experiments.
         btb_config: branch-target-buffer geometry.
+        backend: execution backend name (``repro.backends``): ``"cycle"``
+            for the cycle-accurate out-of-order core, ``"fast"`` for the
+            lowered fast-functional core.
     """
 
     def __init__(self, policy: CommitPolicy = CommitPolicy.BASELINE,
@@ -52,7 +56,8 @@ class Machine:
                  safespec_config: Optional[SafeSpecConfig] = None,
                  page_table: Optional[PageTable] = None,
                  predictor: str = "bimodal",
-                 btb_config: Optional[BTBConfig] = None) -> None:
+                 btb_config: Optional[BTBConfig] = None,
+                 backend: str = DEFAULT_BACKEND) -> None:
         self.core_config = core_config or CoreConfig()
         # The machine is the single owner of the page table: the
         # hierarchy (and anything below it) always receives this one
@@ -77,11 +82,16 @@ class Machine:
                 rob_entries=self.core_config.rob_entries)
         else:
             self.engine = None
+        # Backend dispatch mirrors the predictor lookup above: unknown
+        # names fail loudly, listing every registered backend.
+        self.backend = backend
+        self._backend_impl = BACKENDS.create(backend)
 
     @classmethod
     def from_spec(cls, spec: Optional[MachineSpec] = None, *,
                   policy: Optional[CommitPolicy] = None,
-                  page_table: Optional[PageTable] = None) -> "Machine":
+                  page_table: Optional[PageTable] = None,
+                  backend: str = DEFAULT_BACKEND) -> "Machine":
         """Build a machine from a declarative hardware description.
 
         ``spec`` defaults to the Table I/II machine (``MachineSpec()``).
@@ -107,7 +117,8 @@ class Machine:
                    safespec_config=safespec,
                    page_table=page_table,
                    predictor=spec.predictor,
-                   btb_config=spec.btb)
+                   btb_config=spec.btb,
+                   backend=backend)
 
     # ------------------------------------------------------------------
     # memory setup helpers
@@ -154,17 +165,13 @@ class Machine:
         """
         if map_code and program.code_bytes:
             self.page_table.map_range(program.code_base, program.code_bytes)
-        core = Core(
-            program, self.hierarchy,
-            config=self.core_config,
-            predictor=self.predictor,
-            btb=self.btb,
-            engine=self.engine,
+        return self._backend_impl.run(
+            self, program,
+            max_instructions=max_instructions,
             privilege=privilege,
             fault_handler_pc=fault_handler_pc,
             initial_registers=initial_registers,
         )
-        return core.run(max_instructions=max_instructions)
 
     # ------------------------------------------------------------------
     # attacker-visible probes (committed state only)

@@ -153,6 +153,18 @@ class Cache:
         cache_set[line] = True
         return victim
 
+    def refresh(self, addr: int) -> bool:
+        """Refresh LRU recency of the line *if present* — no installation,
+        no statistics (commit-time recency restoration).  Returns whether
+        the line was present, so callers can fold a presence check and
+        the recency update into one operation."""
+        line = addr & self._line_mask
+        cache_set = self._sets[(addr >> self._set_shift) & self._set_mask]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return True
+        return False
+
     # -- non-perturbing inspection ----------------------------------------
 
     def contains(self, addr: int) -> bool:

@@ -208,13 +208,9 @@ class MemoryHierarchy:
     def refresh_line_recency(self, side: str, line_addr: int) -> None:
         """Refresh cache LRU recency of a line in whichever committed
         levels currently hold it (no installation)."""
-        l1 = self._l1(side)
-        if l1.contains(line_addr):
-            l1.fill(line_addr)
-        if self.l2.contains(line_addr):
-            self.l2.fill(line_addr)
-        if self.l3.contains(line_addr):
-            self.l3.fill(line_addr)
+        (self.l1i if side == "i" else self.l1d).refresh(line_addr)
+        self.l2.refresh(line_addr)
+        self.l3.refresh(line_addr)
 
     def refresh_walk_lines(self, vaddr: int) -> None:
         """Refresh cache recency of the page-table lines a committing

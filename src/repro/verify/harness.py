@@ -1,10 +1,19 @@
 """Differential/invariant harness: pipeline vs oracle, plus leakage checks.
 
-One verification case is ``(profile, seed, policy, spec)``: the fuzzed
-program runs through the full out-of-order :class:`~repro.machine.Machine`
-under the given commit policy and hardware shape, and its final
+One verification case is ``(profile, seed, policy, spec, backend)``: the
+fuzzed program runs through the full :class:`~repro.machine.Machine` —
+the cycle-accurate core or the fast-functional backend, selected by
+name — under the given commit policy and hardware shape, and its final
 architectural state is compared field-by-field against the in-order
-:class:`~repro.verify.oracle.ReferenceOracle`.  On top of the
+:class:`~repro.verify.oracle.ReferenceOracle`.
+
+Passing a comma-joined backend list (``"cycle,fast"``) turns a case into
+a *cross-backend differential*: every named backend runs the same
+program, each is held to the oracle, and the backends are then compared
+against each other — architectural state must be bit-identical, and the
+fast backend's cycle count must stay within
+:data:`CYCLE_TOLERANCE` of the cycle-accurate count (the accuracy
+contract documented in the README).  On top of the
 equivalence check, the harness reads the SafeSpec engine's invariant
 surface (:meth:`~repro.core.safespec.SafeSpecEngine.invariant_stats`)
 and asserts the paper's leakage contract:
@@ -29,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.backends import BACKENDS, DEFAULT_BACKEND
 from repro.core.policy import CommitPolicy
 from repro.errors import ConfigError
 from repro.exec.job import (DEFAULT_INSTRUCTION_BUDGET, VERIFY, SimJob,
@@ -39,6 +49,29 @@ from repro.verify.fuzz import (FUZZ_FORMAT_VERSION, FuzzProfile,
                                FuzzProgram, fuzz_profile,
                                generate_fuzz_program)
 from repro.verify.oracle import OracleResult, ReferenceOracle
+
+# Cross-backend accuracy contract: the fast backend's cycle count must
+# stay within this relative tolerance of the cycle-accurate core's
+# (measured ratios on the suite sit around 0.88-1.0).
+CYCLE_TOLERANCE = 0.25
+
+# The timing half of the contract is stated for realistic instruction
+# streams (the suite workloads).  Fuzz micro-programs that halt after a
+# few hundred instructions are fault- and miss-dominated edge cases
+# where the fast backend's scoreboard legitimately overlaps misses the
+# out-of-order core serializes, so cycle drift is only asserted on runs
+# at least this long.
+TIMING_CONTRACT_MIN_INSTRUCTIONS = 1000
+
+
+def _backend_names(backend: str) -> List[str]:
+    """Split (and validate) a single or comma-joined backend selector."""
+    names = [name.strip() for name in backend.split(",") if name.strip()]
+    if not names:
+        raise ConfigError(f"no backend named in {backend!r}")
+    for name in names:
+        BACKENDS.entry(name)        # unknown backends fail here, loudly
+    return names
 
 
 @dataclass
@@ -55,13 +88,16 @@ class VerifyVerdict:
     cycles: int = 0
     halted_reason: str = ""
     faults: int = 0
+    backend: str = DEFAULT_BACKEND
     from_cache: bool = False
 
     def describe(self) -> str:
         status = "ok" if self.ok else "FAIL"
+        tag = (f" @{self.backend}" if self.backend != DEFAULT_BACKEND
+               else "")
         line = (f"seed {self.seed:4d} {self.profile:8s} "
                 f"{self.policy.value:8s}: {status} "
-                f"({self.instructions} instr, {self.halted_reason})")
+                f"({self.instructions} instr, {self.halted_reason}{tag})")
         for issue in self.mismatches + self.invariant_failures:
             line += f"\n    - {issue}"
         return line
@@ -103,6 +139,7 @@ class VerifyReport:
                 "cycles": v.cycles,
                 "halted_reason": v.halted_reason,
                 "faults": v.faults,
+                "backend": v.backend,
             } for v in self.verdicts],
         }
 
@@ -121,20 +158,25 @@ class VerifyReport:
 def verify_job(seed: int, policy: CommitPolicy,
                profile: str = "mixed",
                instructions: int = DEFAULT_INSTRUCTION_BUDGET,
-               spec: Optional[MachineSpec] = None) -> SimJob:
+               spec: Optional[MachineSpec] = None,
+               backend: str = DEFAULT_BACKEND) -> SimJob:
     """One differential case as a cacheable job.
 
     ``profile`` must be a registered fuzz profile name (ad-hoc
     :class:`FuzzProfile` values can run directly through
-    :func:`verify_case`).  The fuzz format version namespaces the
-    cache: regenerating programs differently invalidates every stored
-    verdict.
+    :func:`verify_case`).  ``backend`` names the execution backend the
+    case holds to the oracle; a comma-joined list (``"cycle,fast"``)
+    makes it a cross-backend differential.  The fuzz format version
+    namespaces the cache: regenerating programs differently invalidates
+    every stored verdict.
     """
     fuzz_profile(profile)           # unknown names fail here, loudly
+    _backend_names(backend)
     return SimJob(kind=VERIFY, target=f"{profile}-{seed}", policy=policy,
                   instructions=instructions,
                   params={"seed": seed, "profile": profile,
                           "fuzz_version": FUZZ_FORMAT_VERSION,
+                          "backend": backend,
                           **spec_params(spec)})
 
 
@@ -163,11 +205,21 @@ def run_reference(case: FuzzProgram,
 
 def verify_case(case: FuzzProgram, policy: CommitPolicy,
                 spec: Optional[MachineSpec] = None,
-                max_instructions: Optional[int] = None) -> VerifyVerdict:
-    """Run one fuzz case differentially and check every invariant."""
+                max_instructions: Optional[int] = None,
+                backend: str = DEFAULT_BACKEND) -> VerifyVerdict:
+    """Run one fuzz case differentially and check every invariant.
+
+    A comma-joined ``backend`` (``"cycle,fast"``) delegates to
+    :func:`diff_backends_case` for a cross-backend differential.
+    """
+    names = _backend_names(backend)
+    if len(names) > 1:
+        return diff_backends_case(case, policy, spec=spec,
+                                  max_instructions=max_instructions,
+                                  backends=names)
     oracle, golden = run_reference(case, max_instructions=max_instructions)
 
-    machine = Machine.from_spec(spec, policy=policy)
+    machine = Machine.from_spec(spec, policy=policy, backend=names[0])
     case.apply_memory_image(machine)
     result = machine.run(case.program, max_instructions=max_instructions,
                          fault_handler_pc=case.fault_handler_pc)
@@ -185,6 +237,74 @@ def verify_case(case: FuzzProgram, policy: CommitPolicy,
         cycles=result.cycles,
         halted_reason=result.halted_reason,
         faults=len(result.fault_events),
+        backend=names[0],
+    )
+
+
+def diff_backends_case(case: FuzzProgram, policy: CommitPolicy,
+                       spec: Optional[MachineSpec] = None,
+                       max_instructions: Optional[int] = None,
+                       backends: "Optional[List[str]]" = None,
+                       cycle_tolerance: float = CYCLE_TOLERANCE
+                       ) -> VerifyVerdict:
+    """One fuzz case across several backends, all held to one oracle.
+
+    Every backend must match the oracle's architectural state and pass
+    the SafeSpec invariants (the single-backend check, run per
+    backend); since the oracle pins the whole untainted surface, the
+    backends are transitively bit-identical there.  Tainted registers
+    (timing reads) are timing-dependent by design and not compared.
+    On runs long enough for the timing contract
+    (:data:`TIMING_CONTRACT_MIN_INSTRUCTIONS`), every non-reference
+    backend's cycle count must additionally land within
+    ``cycle_tolerance`` (relative) of the first backend named.
+    """
+    names = backends if backends else [DEFAULT_BACKEND, "fast"]
+    oracle, golden = run_reference(case, max_instructions=max_instructions)
+
+    mismatches: List[str] = []
+    invariant_failures: List[str] = []
+    runs = []
+    for name in names:
+        machine = Machine.from_spec(spec, policy=policy, backend=name)
+        case.apply_memory_image(machine)
+        result = machine.run(case.program,
+                             max_instructions=max_instructions,
+                             fault_handler_pc=case.fault_handler_pc)
+        mismatches += [f"[{name}] {issue}" for issue in
+                       _compare_states(case, golden, result, oracle,
+                                       machine)]
+        invariant_failures += [f"[{name}] {issue}" for issue in
+                               _check_invariants(machine, policy, result)]
+        runs.append((name, result))
+
+    ref_name, ref_result = runs[0]
+    long_enough = ref_result.instructions >= TIMING_CONTRACT_MIN_INSTRUCTIONS
+    for name, result in runs[1:]:
+        if result.instructions != ref_result.instructions:
+            mismatches.append(
+                f"[{name}] retired {result.instructions} != "
+                f"{ref_name} {ref_result.instructions}")
+        if long_enough and ref_result.cycles:
+            drift = abs(result.cycles - ref_result.cycles) / ref_result.cycles
+            if drift > cycle_tolerance:
+                mismatches.append(
+                    f"[{name}] cycles {result.cycles} drift "
+                    f"{drift:.1%} from {ref_name} {ref_result.cycles} "
+                    f"(> {cycle_tolerance:.0%} tolerance)")
+
+    return VerifyVerdict(
+        seed=case.seed,
+        profile=case.profile.name,
+        policy=policy,
+        ok=not mismatches and not invariant_failures,
+        mismatches=mismatches,
+        invariant_failures=invariant_failures,
+        instructions=ref_result.instructions,
+        cycles=ref_result.cycles,
+        halted_reason=ref_result.halted_reason,
+        faults=len(ref_result.fault_events),
+        backend=",".join(names),
     )
 
 
@@ -270,9 +390,11 @@ def run_verify_job(job: SimJob) -> SimResult:
     seed = int(params["seed"])
     profile = _profile_from_params(params)
     spec = machine_spec_from_params(params)
+    backend = str(params.get("backend", DEFAULT_BACKEND))
     case = generate_fuzz_program(profile, seed)
     verdict = verify_case(case, job.policy, spec=spec,
-                          max_instructions=job.instructions)
+                          max_instructions=job.instructions,
+                          backend=backend)
     return SimResult(
         job_key=job.key(),
         kind=job.kind,
@@ -288,6 +410,7 @@ def run_verify_job(job: SimJob) -> SimResult:
             "mismatches": list(verdict.mismatches),
             "invariant_failures": list(verdict.invariant_failures),
             "faults": verdict.faults,
+            "backend": verdict.backend,
         },
     )
 
@@ -306,5 +429,6 @@ def verdict_from_sim(result: SimResult) -> VerifyVerdict:
         cycles=result.cycles,
         halted_reason=result.halted_reason,
         faults=int(details.get("faults", 0)),
+        backend=str(details.get("backend", DEFAULT_BACKEND)),
         from_cache=result.from_cache,
     )

@@ -198,9 +198,30 @@ class _BlockBodyEmitter:
         return cost
 
 
+# Generation is deterministic in (profile, code_base, data_base), so the
+# result is shared across calls.  Profiles are frozen dataclasses (a few
+# dozen exist), so the cache stays small and the returned WorkloadProgram
+# keeps a stable identity — which also lets per-program lowering caches
+# (the fast backend's) hit across runs.  Treat cached programs as
+# immutable.
+_PROGRAM_CACHE: dict = {}
+
+
 def generate_program(profile: WorkloadProfile,
                      code_base: int = 0x10_000,
                      data_base: int = 0x200_0000) -> WorkloadProgram:
+    """Generate (or fetch the memoized) program for one profile."""
+    key = (profile, code_base, data_base)
+    cached = _PROGRAM_CACHE.get(key)
+    if cached is None:
+        cached = _generate_program(profile, code_base, data_base)
+        _PROGRAM_CACHE[key] = cached
+    return cached
+
+
+def _generate_program(profile: WorkloadProfile,
+                      code_base: int,
+                      data_base: int) -> WorkloadProgram:
     """Generate the synthetic program for one profile."""
     if code_base % INSTRUCTION_BYTES:
         raise ConfigError("code_base must be instruction-aligned")

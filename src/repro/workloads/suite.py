@@ -57,13 +57,15 @@ def run_workload(workload: Union[str, WorkloadProfile, WorkloadProgram],
                  core_config: Optional[CoreConfig] = None,
                  hierarchy_config: Optional[HierarchyConfig] = None,
                  spec: Optional[MachineSpec] = None,
+                 backend: str = "cycle",
                  ) -> WorkloadRun:
     """Run one workload on a fresh machine under the given policy.
 
     ``workload`` may be a suite benchmark name, a profile, or an
     already-generated :class:`WorkloadProgram`.  The machine shape is
     either a declarative ``spec`` (:class:`~repro.spec.MachineSpec`) or
-    the loose per-config overrides — never both.
+    the loose per-config overrides — never both.  ``backend`` selects
+    the execution backend (``repro.backends``).
     """
     if isinstance(workload, str):
         workload = profile_by_name(workload)
@@ -72,11 +74,12 @@ def run_workload(workload: Union[str, WorkloadProfile, WorkloadProgram],
     ensure_single_config_style(spec, core_config, hierarchy_config,
                                safespec_config)
     if spec is not None:
-        machine = Machine.from_spec(spec, policy=policy)
+        machine = Machine.from_spec(spec, policy=policy, backend=backend)
     else:
         machine = Machine(policy=policy, core_config=core_config,
                           hierarchy_config=hierarchy_config,
-                          safespec_config=safespec_config)
+                          safespec_config=safespec_config,
+                          backend=backend)
     workload.apply_memory_image(machine)
     result = machine.run(workload.program, max_instructions=instructions)
 
@@ -108,6 +111,7 @@ def run_workload_job(job: SimJob) -> SimResult:
         core_config=job.core_config,
         hierarchy_config=job.hierarchy_config,
         spec=machine_spec_from_params(job.params),
+        backend=str(job.params.get("backend", "cycle")),
     )
     return SimResult(
         job_key=job.key(),

@@ -163,8 +163,8 @@ class TestScenario:
         scenario = Scenario.attack("meltdown", WFC, secret=7)
         assert scenario.params == {"secret": 7}
         job = scenario.job()
-        assert job.params == {"secret": 7}
-        assert job.spec()["params"] == {"secret": 7}
+        assert job.params == {"secret": 7, "backend": "cycle"}
+        assert job.spec()["params"] == {"secret": 7, "backend": "cycle"}
 
     def test_attack_scenario_matches_legacy_job(self):
         scenario = Scenario.attack("spectre_v1", WFC, secret=9)
@@ -189,11 +189,12 @@ class TestScenario:
         assert len({first, twin}) == 1
 
 
-class TestSchemaV4:
+class TestSchemaV5:
     def test_schema_bumped(self):
-        # v4: writeback wrong-path-resolution fix changed simulator
-        # semantics (and added the verify job kind).
-        assert SCHEMA_VERSION == 4
+        # v5: the execution backend joined the job spec (params carries
+        # a ``backend`` key), so v4 cycle-core results are not served
+        # for backend-tagged jobs.
+        assert SCHEMA_VERSION == 5
 
     def test_spec_is_kind_uniform(self):
         # v1 special-cased a per-kind ``secret`` column; v2 carries one
@@ -203,8 +204,8 @@ class TestSchemaV4:
         attack_spec = attack_job("meltdown", WFC).spec()
         assert "secret" not in workload_spec
         assert "secret" not in attack_spec
-        assert workload_spec["params"] == {}
-        assert attack_spec["params"] == {"secret": 42}
+        assert workload_spec["params"] == {"backend": "cycle"}
+        assert attack_spec["params"] == {"secret": 42, "backend": "cycle"}
 
     def test_old_entries_are_not_served_for_new_jobs(self, tmp_path):
         job = workload_job("namd", BASELINE, instructions=BUDGET)

@@ -132,6 +132,26 @@ class TestComparator:
         assert "STALE BASELINE" in report.render()
         assert any("job key changed" in note for note in delta.notes)
 
+    def test_fast_backend_rows_are_not_speed_gated(self):
+        """Fast-backend wall times are noise-dominated; their perf
+        contract is the speedup gate, so a slow fast row never fails
+        the row-by-row comparison..."""
+        base = _payload([dict(_row("a_fast", 100.0), backend="fast")])
+        current = _payload([dict(_row("a_fast", 60.0), backend="fast")])
+        assert compare_payloads(current, base, threshold=0.10).passed
+
+    def test_fast_backend_rows_still_fail_on_cycle_drift(self):
+        """...but the simulated-cycles correctness check still applies
+        to every row, whatever its backend."""
+        base = _payload([dict(_row("a_fast", 100.0, cycles=100),
+                              backend="fast")])
+        current = _payload([dict(_row("a_fast", 100.0, cycles=101),
+                                 backend="fast")])
+        report = compare_payloads(current, base)
+        assert not report.passed
+        (delta,) = report.regressions
+        assert any("semantics drifted" in note for note in delta.notes)
+
     def test_cycle_drift_under_same_key_fails_the_gate(self):
         """Same spec, different simulated cycles: semantics drifted
         without a schema bump — fails regardless of speed."""

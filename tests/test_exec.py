@@ -49,7 +49,7 @@ class TestJobHashing:
     def test_serial_group_does_not_change_key(self):
         grouped = SimJob(kind="attack", target="spectre_v1",
                          policy=CommitPolicy.WFC,
-                         params={"secret": 42},
+                         params={"secret": 42, "backend": "cycle"},
                          serial_group="attack:spectre_v1")
         ungrouped = attack_job("spectre_v1", CommitPolicy.WFC)
         assert grouped.key() == ungrouped.key()
@@ -271,7 +271,7 @@ class TestAttackExitCode:
     def test_protected_leak_counts_as_failure(self, monkeypatch, capsys):
         from repro.attacks.runner import AttackResult
 
-        def leaky(name, policy, secret, spec=None):
+        def leaky(name, policy, secret, spec=None, backend="cycle"):
             return AttackResult(attack=name, policy=policy, secret=secret,
                                 leaked=secret)
 
