@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Simulation-as-a-service in one script: server, client, shared store.
+
+Boots a :class:`~repro.serve.server.BackgroundServer` over a SQLite
+result store, submits the meltdown security-matrix row over HTTP,
+streams completions, then proves the shared-corpus contract: a second,
+brand-new server instance over the same store answers the identical
+submission without running a single simulation (``source == "store"``).
+
+Usage::
+
+    python examples/serve_session.py
+"""
+
+import tempfile
+
+from repro.serve import (BackgroundServer, JobService, ServeClient,
+                         SQLiteResultStore)
+
+PAYLOAD = {"kind": "matrix", "attacks": ["meltdown"],
+           "policies": ["baseline", "wfb", "wfc"]}
+
+
+def submit_and_wait(url: str) -> dict:
+    client = ServeClient(url)
+    envelope = client.submit(PAYLOAD)
+    print(f"batch {envelope['batch']}:")
+    for job in envelope["jobs"]:
+        print(f"  {job['key'][:12]}  {job['policy']:8s} "
+              f"source={job['source']}")
+    for event in client.stream(envelope["batch"]):
+        if event.get("end"):           # trailing summary line
+            print(f"  {event['total']} jobs, {event['failed']} failed")
+            break
+        result = event.get("result") or {}
+        print(f"  done {event['key'][:12]}  leaked={result.get('leaked')}")
+    return client.batch(envelope["batch"])
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as store_dir:
+        # Cold: a fresh store — every job must actually simulate.
+        with BackgroundServer(JobService(
+                store=SQLiteResultStore(store_dir))) as server:
+            print(f"server up at {server.url} (cold store)")
+            submit_and_wait(server.url)
+
+        # Warm: a *new* server instance, same store — zero simulations.
+        with BackgroundServer(JobService(
+                store=SQLiteResultStore(store_dir))) as server:
+            print(f"server up at {server.url} (warm store)")
+            client = ServeClient(server.url)
+            sources = {job["source"]
+                       for job in client.submit(PAYLOAD)["jobs"]}
+            executed = client.stats()["jobs"]["executed"]
+            print(f"resubmission sources={sorted(sources)} "
+                  f"executed={executed}")
+            assert sources == {"store"} and executed == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from repro.bench.compare import (ComparisonReport, backend_speedups,
 from repro.bench.harness import (BENCH_SCHEMA_VERSION, BenchHarness,
                                  BenchSpec, FULL_SPECS, QUICK_SPECS,
                                  payload_fingerprint, with_backend)
+from repro.bench.service import render_service_rows, service_roundtrip
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -32,6 +33,8 @@ __all__ = [
     "backend_speedups",
     "compare_payloads",
     "payload_fingerprint",
+    "render_service_rows",
     "render_speedups",
+    "service_roundtrip",
     "with_backend",
 ]

@@ -1,0 +1,110 @@
+"""Service-mode benchmark: warm-vs-cold round-trip through the server.
+
+One service row answers the question the serve subsystem exists for:
+*what does a client pay for a simulation the corpus already holds?*
+It measures two full HTTP round-trips of the same submission payload:
+
+* **cold** — a fresh server over an empty shared store: the job is
+  simulated on a background worker;
+* **warm** — a *second* server instance over the same store file: the
+  job comes back from the shared SQLite corpus without simulating
+  (which is also how a restarted or scaled-out server behaves).
+
+Using two server instances (rather than resubmitting to the first)
+makes the warm path exercise the store, not the server's in-memory
+record table — the measured speedup is the one a new client on a new
+server actually sees.
+
+Rows land under the ``service`` key of the bench payload, separate
+from the gated ``results`` rows (round-trip time is dominated by
+polling/transport, not the cycle loop the gate protects).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.core.policy import CommitPolicy
+from repro.serve.client import ServeClient
+from repro.serve.server import BackgroundServer, JobService
+from repro.serve.store import SQLiteResultStore
+
+# The default service-row workload: small enough that the cold trip is
+# seconds-scale in CI, large enough that simulation dominates it.
+DEFAULT_BENCHMARK = "namd"
+DEFAULT_POLICY = CommitPolicy.WFC
+DEFAULT_INSTRUCTIONS = 4_000
+
+
+def _roundtrip(store: SQLiteResultStore, payload: Dict[str, Any],
+               workers: int) -> Dict[str, Any]:
+    """One full submit->poll round-trip on a fresh server instance."""
+    service = JobService(store=store, workers=workers)
+    with BackgroundServer(service) as background:
+        client = ServeClient(background.url)
+        start = time.perf_counter()
+        envelope = client.submit(payload)
+        final = client.wait_batch(envelope["batch"], timeout=600.0)
+        elapsed = time.perf_counter() - start
+    if final["failed"]:
+        errors = [job.get("error") for job in final["jobs"]
+                  if job.get("error")]
+        raise RuntimeError(f"service bench job failed: {errors}")
+    job = final["jobs"][0]
+    return {
+        "elapsed_s": elapsed,
+        "source": envelope["jobs"][0]["source"],
+        "job_key": job["key"],
+        "cycles": (job.get("result") or {}).get("cycles"),
+    }
+
+
+def service_roundtrip(benchmark: str = DEFAULT_BENCHMARK,
+                      policy: CommitPolicy = DEFAULT_POLICY,
+                      instructions: int = DEFAULT_INSTRUCTIONS,
+                      backend: str = "cycle",
+                      workers: int = 1,
+                      store_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Measure one warm-vs-cold served round-trip; returns the row.
+
+    ``store_dir`` locates the shared SQLite store both server
+    instances use; pass a fresh temporary directory (the CLI does) so
+    the cold trip is genuinely cold.
+    """
+    payload = {"kind": "workload", "target": benchmark,
+               "policy": policy.value, "instructions": instructions,
+               "backend": backend}
+    cold = _roundtrip(SQLiteResultStore(store_dir), payload, workers)
+    warm = _roundtrip(SQLiteResultStore(store_dir), payload, workers)
+    if warm["job_key"] != cold["job_key"]:
+        raise RuntimeError("service bench job keys diverged: "
+                           f"{cold['job_key']} != {warm['job_key']}")
+    return {
+        "benchmark": benchmark,
+        "policy": policy.value,
+        "instructions": instructions,
+        "backend": backend,
+        "job_key": cold["job_key"],
+        "cycles": cold["cycles"],
+        "cold_s": round(cold["elapsed_s"], 6),
+        "warm_s": round(warm["elapsed_s"], 6),
+        # The headline number: how much faster the corpus serves a
+        # known job than simulating it.
+        "warm_speedup": round(cold["elapsed_s"]
+                              / max(warm["elapsed_s"], 1e-9), 1),
+        "cold_source": cold["source"],     # "executed" when truly cold
+        "warm_source": warm["source"],     # "store" when served
+    }
+
+
+def render_service_rows(rows) -> str:
+    lines = ["service round-trip (cold = simulated on a worker, "
+             "warm = served from the shared store):"]
+    for row in rows:
+        lines.append(
+            f"  {row['benchmark']}/{row['policy']}@{row['backend']}: "
+            f"cold {row['cold_s']:.3f}s ({row['cold_source']}) -> "
+            f"warm {row['warm_s']:.3f}s ({row['warm_source']}), "
+            f"{row['warm_speedup']:.1f}x")
+    return "\n".join(lines)

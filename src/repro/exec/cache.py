@@ -15,12 +15,28 @@ import json
 import os
 import sys
 import tempfile
+import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
+from repro.errors import ConfigError
 from repro.exec.job import SCHEMA_VERSION, SimJob, SimResult
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+STORE_ENV = "REPRO_STORE"
+
+# Temp files carry this prefix so clear()/len() never touch an entry
+# another process is still writing (a racing clear() unlinking a temp
+# file mid-write used to surface as a spurious "cache disabled").
+_TMP_PREFIX = ".tmp-"
+
+# The registered store kinds ``make_cache`` resolves.
+STORE_KINDS = ("dir", "sqlite")
+
+
+def default_store_kind() -> str:
+    """``$REPRO_STORE`` when set, else the directory cache."""
+    return os.environ.get(STORE_ENV, "dir")
 
 
 def default_cache_dir() -> Path:
@@ -69,48 +85,125 @@ class ResultCache:
         already ran: storage failures degrade to a one-time warning.
         """
         payload = result.to_dict()
-        tmp_name = None
-        try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=self.directory, prefix=".tmp-", suffix=".json")
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, separators=(",", ":"))
-            os.replace(tmp_name, self.path_for(job))
-        except OSError as error:
-            if tmp_name is not None:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-            if not self._store_warned:
-                print(f"warning: result cache disabled for this run: "
-                      f"cannot write {self.directory} ({error})",
-                      file=sys.stderr)
-                self._store_warned = True
+        # Two attempts: a concurrent clear() (or cache wipe) racing the
+        # temp file between mkstemp and os.replace surfaces as a
+        # spurious OSError on a perfectly writable directory — recreate
+        # and retry once before concluding the location is unusable.
+        error: Optional[OSError] = None
+        for _ in range(2):
+            tmp_name = None
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=self.directory, prefix=_TMP_PREFIX, suffix=".json")
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, separators=(",", ":"))
+                os.replace(tmp_name, self.path_for(job))
+            except OSError as exc:
+                error = exc
+                if tmp_name is not None:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                continue
+            self.stores += 1
             return
-        self.stores += 1
+        if not self._store_warned:
+            print(f"warning: result cache disabled for this run: "
+                  f"cannot write {self.directory} ({error})",
+                  file=sys.stderr)
+            self._store_warned = True
+
+    def _entries(self):
+        """Completed entry files only — in-flight temp files excluded,
+        so a concurrent writer's half-written entry is never counted,
+        cleared, or collected."""
+        if not self.directory.is_dir():
+            return
+        for path in self.directory.glob("*.json"):
+            if not path.name.startswith(_TMP_PREFIX):
+                yield path
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""
         removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
         return removed
 
     def __len__(self) -> int:
-        if not self.directory.is_dir():
-            return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self._entries())
 
     def describe(self) -> str:
         return (f"cache {self.directory}: {self.hits} hits, "
                 f"{self.misses} misses, {self.stores} stored")
+
+    def stats(self) -> Dict[str, Any]:
+        """The corpus shape, in the same layout as the SQLite store."""
+        entries = 0
+        payload_bytes = 0
+        for path in self._entries():
+            try:
+                payload_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return {
+            "backend": "dir",
+            "location": str(self.directory),
+            "schema": SCHEMA_VERSION,
+            "entries": entries,
+            "payload_bytes": payload_bytes,
+        }
+
+    def gc(self, max_age_days: Optional[float] = None,
+           max_entries: Optional[int] = None,
+           max_bytes: Optional[int] = None, **_ignored: Any) -> int:
+        """Prune entries by age and/or size; returns the number removed.
+
+        ``max_age_days`` drops entries whose file mtime (refreshed on
+        every store) is outside the window; ``max_entries`` /
+        ``max_bytes`` keep the newest entries within the budget.  Stale
+        temp files older than a day are swept too (an interrupted writer
+        orphans at most one).
+        """
+        removed = 0
+        now = time.time()
+        survivors = []
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            age_days = (now - stat.st_mtime) / 86_400.0
+            if max_age_days is not None and age_days > max_age_days:
+                removed += _unlink_quiet(path)
+            else:
+                survivors.append((stat.st_mtime, stat.st_size, path))
+        if max_entries is not None or max_bytes is not None:
+            survivors.sort(reverse=True)        # newest first
+            spent_bytes = 0
+            for index, (_, size, path) in enumerate(survivors):
+                spent_bytes += size
+                over_count = (max_entries is not None
+                              and index >= max_entries)
+                over_bytes = (max_bytes is not None
+                              and spent_bytes > max_bytes)
+                if over_count or over_bytes:
+                    removed += _unlink_quiet(path)
+        if self.directory.is_dir():
+            for path in self.directory.glob(f"{_TMP_PREFIX}*"):
+                try:
+                    if now - path.stat().st_mtime > 86_400.0:
+                        removed += _unlink_quiet(path)
+                except OSError:
+                    pass
+        return removed
 
 
 class NullCache:
@@ -138,3 +231,43 @@ class NullCache:
 
     def describe(self) -> str:
         return "cache disabled"
+
+    def stats(self) -> Dict[str, Any]:
+        return {"backend": "null", "location": None,
+                "schema": SCHEMA_VERSION, "entries": 0, "payload_bytes": 0}
+
+    def gc(self, **_ignored: Any) -> int:
+        return 0
+
+
+def make_cache(store: Optional[str] = None,
+               directory: Union[str, Path, None] = None,
+               enabled: bool = True):
+    """The result store a (store kind, location) pair describes.
+
+    ``store`` is ``"dir"`` (one JSON file per result, the default) or
+    ``"sqlite"`` (the shared :class:`~repro.serve.store.SQLiteResultStore`
+    many clients and workers can hit concurrently); ``None`` reads
+    ``$REPRO_STORE``.  ``enabled=False`` returns the no-op
+    :class:`NullCache` regardless.
+    """
+    if not enabled:
+        return NullCache()
+    kind = store if store is not None else default_store_kind()
+    if kind == "dir":
+        return ResultCache(directory)
+    if kind == "sqlite":
+        # Imported lazily: repro.serve sits above the exec layer.
+        from repro.serve.store import SQLiteResultStore
+
+        return SQLiteResultStore(directory)
+    raise ConfigError(f"unknown result store {kind!r}; choose from "
+                      f"{', '.join(STORE_KINDS)}")
+
+
+def _unlink_quiet(path: Path) -> int:
+    try:
+        path.unlink()
+        return 1
+    except OSError:
+        return 0

@@ -1,0 +1,56 @@
+"""Simulation-as-a-service: HTTP job server + shared result store.
+
+The subsystem that turns the local toolkit into a service many clients
+share:
+
+* :mod:`repro.serve.protocol` — the JSON submission payloads and their
+  lowering to content-hashed :class:`~repro.exec.job.SimJob` batches;
+* :mod:`repro.serve.store` — :class:`SQLiteResultStore`, the shared,
+  concurrency-safe result store (WAL mode, atomic upserts) implementing
+  the :class:`~repro.exec.cache.ResultCache` interface;
+* :mod:`repro.serve.worker` — the restartable background worker pool
+  (crash containment via the process boundary);
+* :mod:`repro.serve.server` — :class:`JobService` (transport-free core)
+  and :class:`JobServer` (stdlib asyncio HTTP front-end);
+* :mod:`repro.serve.client` — :class:`ServeClient`, the stdlib HTTP
+  client the CLI (``repro submit`` / ``repro status``), the tests and
+  the bench service row use.
+
+``repro serve`` boots a server; see the README "Serving" section for
+the endpoint reference and an example curl session.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (DONE, FAILED, PROTOCOL_VERSION, QUEUED,
+                                  RUNNING, SUBMIT_KINDS, TERMINAL_STATES,
+                                  ProtocolError, build_jobs, job_summary)
+from repro.serve.server import (DEFAULT_HOST, DEFAULT_PORT,
+                                BackgroundServer, JobServer, JobService,
+                                run_server)
+from repro.serve.store import SQLiteResultStore, default_db_path
+from repro.serve.worker import WorkerCrash, WorkerPool
+
+__all__ = [
+    "BackgroundServer",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DONE",
+    "FAILED",
+    "JobServer",
+    "JobService",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QUEUED",
+    "RUNNING",
+    "SQLiteResultStore",
+    "SUBMIT_KINDS",
+    "ServeClient",
+    "ServeError",
+    "TERMINAL_STATES",
+    "WorkerCrash",
+    "WorkerPool",
+    "build_jobs",
+    "default_db_path",
+    "job_summary",
+    "run_server",
+]

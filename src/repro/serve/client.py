@@ -1,0 +1,146 @@
+"""The stdlib HTTP client for a running ``repro serve`` instance.
+
+:class:`ServeClient` wraps the server's JSON endpoints with plain
+``urllib`` — no third-party dependency, usable from the CLI (``repro
+submit`` / ``repro status``), the tests, CI smoke scripts and the bench
+service row alike::
+
+    client = ServeClient("http://127.0.0.1:8322")
+    envelope = client.submit({"kind": "matrix", "attacks": ["meltdown"]})
+    final = client.wait_batch(envelope["batch"])
+    for job in final["jobs"]:
+        print(job["key"], job["status"])
+
+Server-reported errors (4xx/5xx with an ``{"error": ...}`` body) raise
+:class:`ServeError` carrying the HTTP status; transport failures
+(connection refused, timeouts) surface as the usual ``OSError``
+family.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import ReproError
+
+DEFAULT_TIMEOUT_S = 60.0
+
+# One long-poll slice while waiting on a batch; short enough that a
+# wait_batch deadline is honoured promptly.
+_POLL_SLICE_S = 5.0
+
+
+class ServeError(ReproError):
+    """An error response from the server (HTTP status + message)."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """A thin JSON client for one server base URL."""
+
+    def __init__(self, url: str,
+                 timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- endpoint wrappers -------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._get("/v1/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._get("/v1/stats")
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST one submission payload; returns the batch envelope."""
+        return self._request("POST", "/v1/submit", body=payload)
+
+    def job(self, key: str,
+            wait: Optional[float] = None) -> Dict[str, Any]:
+        """One job's state; ``wait`` long-polls for a terminal state."""
+        return self._get(f"/v1/jobs/{key}", params=_wait_params(wait))
+
+    def jobs(self, status: Optional[str] = None) -> Dict[str, Any]:
+        params = {"status": status} if status else None
+        return self._get("/v1/jobs", params=params)
+
+    def batch(self, batch_id: str,
+              wait: Optional[float] = None) -> Dict[str, Any]:
+        return self._get(f"/v1/batches/{batch_id}",
+                         params=_wait_params(wait))
+
+    def wait_batch(self, batch_id: str,
+                   timeout: float = 600.0) -> Dict[str, Any]:
+        """Poll until every job in the batch is terminal.
+
+        Raises :class:`ServeError` if the batch is still running at
+        ``timeout``; a batch with failed jobs still returns normally
+        (inspect ``["failed"]``).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(
+                    f"batch {batch_id} still running after {timeout}s")
+            state = self.batch(batch_id,
+                               wait=min(remaining, _POLL_SLICE_S))
+            if state["completed"] >= state["total"]:
+                return state
+
+    def stream(self, batch_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield one dict per NDJSON line from the batch stream."""
+        request = urllib.request.Request(
+            f"{self.url}/v1/batches/{batch_id}/stream")
+        with urllib.request.urlopen(request,
+                                    timeout=self.timeout) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _get(self, path: str,
+             params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        if params:
+            path = f"{path}?{urllib.parse.urlencode(params)}"
+        return self._request("GET", path)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.load(response)
+        except urllib.error.HTTPError as error:
+            raise ServeError(_error_message(error),
+                             status=error.code) from error
+
+
+def _wait_params(wait: Optional[float]) -> Optional[Dict[str, Any]]:
+    return {"wait": wait} if wait else None
+
+
+def _error_message(error: urllib.error.HTTPError) -> str:
+    """The server's ``{"error": ...}`` body, or the bare HTTP reason."""
+    try:
+        payload = json.load(error)
+        return str(payload["error"])
+    except (ValueError, KeyError, TypeError, OSError):
+        return f"HTTP {error.code}: {error.reason}"

@@ -1,0 +1,241 @@
+"""The JSON-over-HTTP submission protocol: payloads in, job batches out.
+
+One submission payload describes one batch of simulations in the same
+vocabulary the CLI and :class:`~repro.api.session.Session` use::
+
+    {"kind": "matrix",   "attacks": ["spectre_v1"], "policies": ["wfc"]}
+    {"kind": "attack",   "target": "meltdown", "secret": 42}
+    {"kind": "workload", "target": "mcf", "policy": "wfc"}
+    {"kind": "verify",   "count": 5, "seed": 0, "profile": "mixed"}
+    {"kind": "sweep",    "benchmarks": ["mcf"], "policies": ["wfc"],
+     "variants": {"rob96": {"core.rob_entries": 96}}}
+
+Common optional fields on every kind: ``backend`` (execution backend
+name), ``preset`` (a registered :class:`~repro.spec.MachineSpec`) plus
+``set`` (a list of ``key=value`` dotted-path overrides), and
+``instructions``.  :func:`build_jobs` validates the payload against the
+component registries and lowers it to content-hashed
+:class:`~repro.exec.job.SimJob` values — the job key doubles as the
+service's result identifier, so resubmitting an identical payload
+always lands on the same jobs (and therefore the same store rows).
+
+A malformed payload raises :class:`ProtocolError`, which the server
+maps to a 4xx response; nothing in this module touches the network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.api.registry import attack_names
+from repro.api.scenario import Scenario, Sweep
+from repro.core.policy import CommitPolicy
+from repro.errors import ConfigError, ReproError
+from repro.exec.job import DEFAULT_INSTRUCTION_BUDGET, SimJob
+from repro.spec import MachineSpec, derive_from_strings, get_spec
+from repro.verify.harness import verify_job
+from repro.workloads import suite_names
+
+# The protocol version, carried in every response envelope.  Bump on
+# incompatible payload-shape changes (independent of the result
+# SCHEMA_VERSION, which namespaces the store).
+PROTOCOL_VERSION = 1
+
+SUBMIT_KINDS = ("attack", "matrix", "workload", "verify", "sweep")
+
+# Terminal and non-terminal job states the service reports.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TERMINAL_STATES = (DONE, FAILED)
+
+
+class ProtocolError(ReproError):
+    """A malformed or invalid request; maps to an HTTP 4xx."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _require_mapping(payload: Any) -> Mapping[str, Any]:
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"submission body must be a JSON object, got "
+            f"{type(payload).__name__}")
+    return payload
+
+
+def _policies(payload: Mapping[str, Any],
+              default: Optional[List[CommitPolicy]] = None
+              ) -> List[CommitPolicy]:
+    """The commit policies a payload names (``policy`` or ``policies``)."""
+    raw = payload.get("policies")
+    if raw is None and "policy" in payload:
+        raw = [payload["policy"]]
+    if raw is None:
+        if default is not None:
+            return default
+        from repro.api.session import MATRIX_POLICIES
+
+        return list(MATRIX_POLICIES)
+    if isinstance(raw, str):
+        raw = [raw]
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ProtocolError("'policies' must be a non-empty list of "
+                            "policy names")
+    known = {p.value: p for p in CommitPolicy}
+    chosen = []
+    for name in raw:
+        if name not in known:
+            raise ProtocolError(
+                f"unknown policy {name!r}; choose from {sorted(known)}")
+        chosen.append(known[name])
+    return chosen
+
+
+def _spec(payload: Mapping[str, Any]) -> Optional[MachineSpec]:
+    """The hardware shape of a payload (``preset`` + ``set``), or None."""
+    preset = payload.get("preset")
+    overrides = payload.get("set") or []
+    if preset is None and not overrides:
+        return None
+    if not isinstance(overrides, (list, tuple)) or any(
+            not isinstance(item, str) for item in overrides):
+        raise ProtocolError("'set' must be a list of 'key=value' strings")
+    spec = get_spec(preset) if preset else MachineSpec()
+    if overrides:
+        spec = derive_from_strings(spec, list(overrides))
+    return spec
+
+
+def _int_field(payload: Mapping[str, Any], name: str, default: int,
+               minimum: int = 1) -> int:
+    value = payload.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < minimum:
+        raise ProtocolError(f"'{name}' must be an integer >= {minimum}")
+    return value
+
+
+def _str_field(payload: Mapping[str, Any], name: str,
+               default: Optional[str] = None) -> str:
+    value = payload.get(name, default)
+    if value is None:
+        raise ProtocolError(f"missing required field '{name}'")
+    if not isinstance(value, str):
+        raise ProtocolError(f"'{name}' must be a string")
+    return value
+
+
+def build_jobs(payload: Any) -> List[SimJob]:
+    """Lower one submission payload to its job batch.
+
+    Raises :class:`ProtocolError` on malformed payloads; registry
+    :class:`~repro.errors.ConfigError` (unknown attack, benchmark,
+    backend, preset, override path) is re-raised as a
+    :class:`ProtocolError` too, so the server's 4xx surface is one
+    exception type.
+    """
+    payload = _require_mapping(payload)
+    kind = payload.get("kind")
+    if kind not in SUBMIT_KINDS:
+        raise ProtocolError(
+            f"unknown submission kind {kind!r}; choose from "
+            f"{', '.join(SUBMIT_KINDS)}")
+    try:
+        return _BUILDERS[kind](payload)
+    except ProtocolError:
+        raise
+    except ConfigError as error:
+        raise ProtocolError(str(error)) from error
+
+
+def _build_attack(payload: Mapping[str, Any]) -> List[SimJob]:
+    target = _str_field(payload, "target")
+    secret = _int_field(payload, "secret", 42, minimum=0)
+    spec = _spec(payload)
+    backend = _str_field(payload, "backend", "cycle")
+    return [Scenario.attack(target, policy, secret=secret, spec=spec,
+                            backend=backend).job()
+            for policy in _policies(payload)]
+
+
+def _build_matrix(payload: Mapping[str, Any]) -> List[SimJob]:
+    attacks = payload.get("attacks") or attack_names()
+    if not isinstance(attacks, (list, tuple)):
+        raise ProtocolError("'attacks' must be a list of attack names")
+    secret = _int_field(payload, "secret", 42, minimum=0)
+    spec = _spec(payload)
+    backend = _str_field(payload, "backend", "cycle")
+    return [Scenario.attack(name, policy, secret=secret, spec=spec,
+                            backend=backend).job()
+            for name in attacks for policy in _policies(payload)]
+
+
+def _build_workload(payload: Mapping[str, Any]) -> List[SimJob]:
+    target = _str_field(payload, "target", "suite")
+    names = suite_names() if target == "suite" else [target]
+    instructions = _int_field(payload, "instructions",
+                              DEFAULT_INSTRUCTION_BUDGET)
+    spec = _spec(payload)
+    backend = _str_field(payload, "backend", "cycle")
+    policies = _policies(payload, default=[CommitPolicy.BASELINE])
+    return [Scenario.workload(name, policy, instructions=instructions,
+                              spec=spec, backend=backend).job()
+            for name in names for policy in policies]
+
+
+def _build_verify(payload: Mapping[str, Any]) -> List[SimJob]:
+    count = _int_field(payload, "count", 10)
+    seed = _int_field(payload, "seed", 0, minimum=0)
+    profile = _str_field(payload, "profile", "mixed")
+    instructions = _int_field(payload, "instructions",
+                              DEFAULT_INSTRUCTION_BUDGET)
+    spec = _spec(payload)
+    backend = _str_field(payload, "backend", "cycle")
+    return [verify_job(s, policy, profile=profile,
+                       instructions=instructions, spec=spec,
+                       backend=backend)
+            for s in range(seed, seed + count)
+            for policy in _policies(payload)]
+
+
+def _build_sweep(payload: Mapping[str, Any]) -> List[SimJob]:
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, (list, tuple)) or not benchmarks:
+        raise ProtocolError("'benchmarks' must be a non-empty list")
+    backends = payload.get("backends", [_str_field(payload, "backend",
+                                                   "cycle")])
+    variants = payload.get("variants")
+    specs = payload.get("specs")
+    sweep = Sweep(benchmarks=list(benchmarks),
+                  policies=_policies(payload,
+                                     default=[CommitPolicy.BASELINE]),
+                  instructions=_int_field(payload, "instructions",
+                                          DEFAULT_INSTRUCTION_BUDGET),
+                  variants=variants, specs=specs,
+                  backends=list(backends))
+    return sweep.jobs()
+
+
+_BUILDERS = {
+    "attack": _build_attack,
+    "matrix": _build_matrix,
+    "workload": _build_workload,
+    "verify": _build_verify,
+    "sweep": _build_sweep,
+}
+
+
+def job_summary(job: SimJob) -> Dict[str, Any]:
+    """The protocol's compact description of one job."""
+    return {
+        "key": job.key(),
+        "kind": job.kind,
+        "target": job.target,
+        "policy": job.policy.value,
+        "backend": job.params.get("backend", "cycle"),
+        "instructions": job.instructions,
+    }

@@ -1,0 +1,606 @@
+"""Simulation-as-a-service: the asyncio job server.
+
+Two layers, separable on purpose:
+
+* :class:`JobService` — the transport-free core: accepts submission
+  payloads (:func:`~repro.serve.protocol.build_jobs`), dedups them by
+  job content hash against in-flight work, the in-memory record table
+  and the shared result store, dispatches fresh jobs to a
+  :class:`~repro.serve.worker.WorkerPool`, and persists every computed
+  result back to the store — so many clients asking for the same
+  simulation cost exactly one execution.
+* :class:`JobServer` — a minimal JSON-over-HTTP/1.1 front-end on
+  ``asyncio.start_server`` (stdlib only, no third-party dependency)
+  exposing the service.
+
+Endpoints (all JSON; errors are ``{"error": ...}`` with a 4xx/5xx
+status):
+
+=======  ==============================  =====================================
+method   path                            meaning
+=======  ==============================  =====================================
+POST     ``/v1/submit``                  submit a batch; returns job keys
+GET      ``/v1/jobs``                    list known jobs (``?status=`` filter)
+GET      ``/v1/jobs/<key>``              one job's state (``?wait=SECONDS``
+                                         long-polls for a terminal state)
+GET      ``/v1/batches/<id>``            a submission's states (``?wait=``)
+GET      ``/v1/batches/<id>/stream``     NDJSON: one line per job completion
+GET      ``/v1/stats``                   store + execution counters
+GET      ``/v1/healthz``                 liveness probe
+=======  ==============================  =====================================
+
+A submitted job's identifier *is* its :meth:`~repro.exec.job.SimJob.key`
+content hash: submit the same payload twice and you poll the same jobs,
+whichever client (or server instance) computed them first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import secrets
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigError
+from repro.exec.cache import make_cache
+from repro.exec.job import SCHEMA_VERSION, SimJob, SimResult
+from repro.serve.protocol import (DONE, FAILED, PROTOCOL_VERSION, QUEUED,
+                                  RUNNING, TERMINAL_STATES, ProtocolError,
+                                  build_jobs, job_summary)
+from repro.serve.worker import WorkerPool
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8322
+
+# Submission sources, reported per job in the submit response:
+# ``executed`` — new work dispatched to a worker; ``store`` — served
+# from the shared result store without simulating; ``inflight`` —
+# deduped onto a job another submission is already running; ``memo`` —
+# deduped onto a completed in-memory record from this server's lifetime.
+SOURCE_EXECUTED = "executed"
+SOURCE_STORE = "store"
+SOURCE_INFLIGHT = "inflight"
+SOURCE_MEMO = "memo"
+
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+_MAX_WAIT_S = 120.0
+
+
+@dataclass
+class JobRecord:
+    """One known job: its spec, lifecycle state and (eventually) result."""
+
+    job: SimJob
+    key: str
+    status: str = QUEUED
+    result: Optional[SimResult] = None
+    error: str = ""
+    origin: str = ""                  # SOURCE_EXECUTED or SOURCE_STORE
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def summary(self) -> Dict[str, Any]:
+        payload = job_summary(self.job)
+        payload.update({
+            "status": self.status,
+            "origin": self.origin or None,
+            "error": self.error or None,
+        })
+        return payload
+
+    def full(self) -> Dict[str, Any]:
+        payload = self.summary()
+        payload["result"] = (self.result.to_dict()
+                             if self.result is not None else None)
+        if self.finished_at:
+            payload["elapsed_s"] = round(
+                self.finished_at - self.submitted_at, 6)
+        return payload
+
+
+class JobService:
+    """The transport-free job service a server (or test) drives."""
+
+    def __init__(self, store: Any = None, workers: int = 2,
+                 runner: Any = None) -> None:
+        self.store = store if store is not None else make_cache("sqlite")
+        self.pool = WorkerPool(workers=workers, runner=runner)
+        self.records: Dict[str, JobRecord] = {}
+        self.batches: Dict[str, List[str]] = {}
+        self.counters = {"executed": 0, "store_hits": 0, "memo_hits": 0,
+                         "inflight_hits": 0, "failed": 0}
+        self.started_at = time.time()
+        # Jobs sharing a serial_group run one-at-a-time, in submission
+        # order (asyncio.Lock wakes waiters FIFO); ungrouped jobs fan
+        # out freely.
+        self._group_locks: Dict[str, asyncio.Lock] = {}
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(self, payload: Any) -> Dict[str, Any]:
+        """Accept one submission payload; returns the batch envelope.
+
+        Raises :class:`ProtocolError` on malformed payloads (the HTTP
+        layer maps it to a 4xx).
+        """
+        jobs = build_jobs(payload)
+        batch_id = secrets.token_hex(8)
+        entries: List[Dict[str, Any]] = []
+        keys: List[str] = []
+        seen_in_batch: Dict[str, str] = {}
+        for job in jobs:
+            key = job.key()
+            if key in seen_in_batch:
+                source = seen_in_batch[key]
+            else:
+                source = self._admit(job, key)
+                seen_in_batch[key] = source
+            entry = self.records[key].summary()
+            entry["source"] = source
+            entries.append(entry)
+            keys.append(key)
+        self.batches[batch_id] = keys
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "schema": SCHEMA_VERSION,
+            "batch": batch_id,
+            "jobs": entries,
+        }
+
+    def _admit(self, job: SimJob, key: str) -> str:
+        """Route one job: dedup, store lookup, or dispatch; returns the
+        submission source."""
+        record = self.records.get(key)
+        if record is not None and record.status != FAILED:
+            if record.status in TERMINAL_STATES:
+                self.counters["memo_hits"] += 1
+                return SOURCE_MEMO
+            self.counters["inflight_hits"] += 1
+            return SOURCE_INFLIGHT
+        record = JobRecord(job=job, key=key, submitted_at=time.time())
+        self.records[key] = record
+        cached = self.store.get(job)
+        if cached is not None:
+            record.result = cached
+            record.status = DONE
+            record.origin = SOURCE_STORE
+            record.finished_at = time.time()
+            record.done_event.set()
+            self.counters["store_hits"] += 1
+            return SOURCE_STORE
+        asyncio.get_running_loop().create_task(self._run(record))
+        return SOURCE_EXECUTED
+
+    async def _run(self, record: JobRecord) -> None:
+        group = record.job.serial_group
+        if group is not None:
+            lock = self._group_locks.setdefault(group, asyncio.Lock())
+            async with lock:
+                await self._execute(record)
+        else:
+            await self._execute(record)
+
+    async def _execute(self, record: JobRecord) -> None:
+        record.status = RUNNING
+        try:
+            result = await self.pool.run_job(record.job)
+        except Exception as error:  # noqa: BLE001 — every failure mode
+            # (crashed worker, job-raised ConfigError, pickling trouble)
+            # must resolve the record, never hang a poller.
+            record.status = FAILED
+            record.error = f"{type(error).__name__}: {error}"
+            self.counters["failed"] += 1
+        else:
+            record.result = result
+            record.status = DONE
+            record.origin = SOURCE_EXECUTED
+            self.counters["executed"] += 1
+            self.store.put(record.job, result)
+        record.finished_at = time.time()
+        record.done_event.set()
+
+    # -- queries -----------------------------------------------------------
+
+    async def job_state(self, key: str,
+                        wait: Optional[float] = None) -> Dict[str, Any]:
+        record = self.records.get(key)
+        if record is None:
+            raise ProtocolError(f"unknown job {key!r}", status=404)
+        if wait and record.status not in TERMINAL_STATES:
+            try:
+                await asyncio.wait_for(record.done_event.wait(),
+                                       timeout=min(wait, _MAX_WAIT_S))
+            except asyncio.TimeoutError:
+                pass
+        return record.full()
+
+    def batch_keys(self, batch_id: str) -> List[str]:
+        keys = self.batches.get(batch_id)
+        if keys is None:
+            raise ProtocolError(f"unknown batch {batch_id!r}", status=404)
+        return keys
+
+    async def batch_state(self, batch_id: str,
+                          wait: Optional[float] = None) -> Dict[str, Any]:
+        keys = self.batch_keys(batch_id)
+        records = [self.records[key] for key in keys]
+        if wait:
+            deadline = time.monotonic() + min(wait, _MAX_WAIT_S)
+            for record in records:
+                remaining = deadline - time.monotonic()
+                if record.status in TERMINAL_STATES or remaining <= 0:
+                    continue
+                try:
+                    await asyncio.wait_for(record.done_event.wait(),
+                                           timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+        states = [record.full() for record in records]
+        done = sum(1 for s in states if s["status"] in TERMINAL_STATES)
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "batch": batch_id,
+            "total": len(states),
+            "completed": done,
+            "failed": sum(1 for s in states if s["status"] == FAILED),
+            "jobs": states,
+        }
+
+    def list_jobs(self, status: Optional[str] = None) -> Dict[str, Any]:
+        rows = [record.summary() for record in self.records.values()
+                if status is None or record.status == status]
+        return {"protocol": PROTOCOL_VERSION, "total": len(rows),
+                "jobs": rows}
+
+    def stats(self) -> Dict[str, Any]:
+        by_status: Dict[str, int] = {}
+        for record in self.records.values():
+            by_status[record.status] = by_status.get(record.status, 0) + 1
+        store_stats = (self.store.stats()
+                       if hasattr(self.store, "stats")
+                       else {"backend": type(self.store).__name__})
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "schema": SCHEMA_VERSION,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "workers": self.pool.workers,
+            "jobs": {"known": len(self.records), **self.counters,
+                     "by_status": by_status},
+            "store": store_stats,
+        }
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# the HTTP layer
+# ---------------------------------------------------------------------------
+
+class JobServer:
+    """JSON-over-HTTP/1.1 front-end for one :class:`JobService`."""
+
+    def __init__(self, service: JobService, host: str = DEFAULT_HOST,
+                 port: int = DEFAULT_PORT) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        # Port 0 asks the OS for an ephemeral port; report the real one.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.shutdown()
+
+    async def serve_forever(self, on_start: Any = None) -> None:
+        await self.start()
+        if on_start is not None:
+            on_start(self)
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- request plumbing --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, query, body = await _read_request(reader)
+            except _BadRequest as error:
+                await _write_json(writer, 400, {"error": str(error)})
+                return
+            try:
+                await self._route(writer, method, path, query, body)
+            except ProtocolError as error:
+                await _write_json(writer, error.status,
+                                  {"error": str(error)})
+            except ConfigError as error:
+                await _write_json(writer, 400, {"error": str(error)})
+            except Exception as error:  # noqa: BLE001 — a handler bug
+                # must answer the client, not silently drop the socket.
+                await _write_json(
+                    writer, 500,
+                    {"error": f"{type(error).__name__}: {error}"})
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError here means the loop is tearing the
+                # handler down mid-close (server shutdown); the socket
+                # is gone either way.
+                pass
+
+    async def _route(self, writer: asyncio.StreamWriter, method: str,
+                     path: str, query: Dict[str, str],
+                     body: bytes) -> None:
+        service = self.service
+        if path == "/v1/healthz":
+            _expect(method, "GET")
+            await _write_json(writer, 200, {
+                "ok": True, "protocol": PROTOCOL_VERSION,
+                "schema": SCHEMA_VERSION})
+        elif path == "/v1/stats":
+            _expect(method, "GET")
+            await _write_json(writer, 200, service.stats())
+        elif path == "/v1/submit":
+            _expect(method, "POST")
+            await _write_json(writer, 202,
+                              await service.submit(_parse_body(body)))
+        elif path == "/v1/jobs":
+            _expect(method, "GET")
+            await _write_json(writer, 200,
+                              service.list_jobs(query.get("status")))
+        elif path.startswith("/v1/jobs/"):
+            _expect(method, "GET")
+            key = path[len("/v1/jobs/"):]
+            await _write_json(writer, 200, await service.job_state(
+                key, wait=_wait_seconds(query)))
+        elif path.startswith("/v1/batches/") and path.endswith("/stream"):
+            _expect(method, "GET")
+            batch_id = path[len("/v1/batches/"):-len("/stream")]
+            await self._stream_batch(writer, batch_id)
+        elif path.startswith("/v1/batches/"):
+            _expect(method, "GET")
+            batch_id = path[len("/v1/batches/"):]
+            await _write_json(writer, 200, await service.batch_state(
+                batch_id, wait=_wait_seconds(query)))
+        else:
+            raise ProtocolError(f"no such endpoint {path!r}", status=404)
+
+    async def _stream_batch(self, writer: asyncio.StreamWriter,
+                            batch_id: str) -> None:
+        """NDJSON stream: one line per job as it completes, then a
+        summary line; the closed connection delimits the body."""
+        keys = self.service.batch_keys(batch_id)   # 404 before headers
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        failed = 0
+        for key in keys:
+            record = self.service.records[key]
+            if record.status not in TERMINAL_STATES:
+                await record.done_event.wait()
+            failed += record.status == FAILED
+            writer.write(_json_line(record.full()))
+            await writer.drain()
+        writer.write(_json_line({"batch": batch_id, "total": len(keys),
+                                 "failed": failed, "end": True}))
+        await writer.drain()
+
+
+class _BadRequest(Exception):
+    pass
+
+
+def _expect(method: str, wanted: str) -> None:
+    if method != wanted:
+        raise ProtocolError(f"method {method} not allowed (use {wanted})",
+                            status=405)
+
+
+def _parse_body(body: bytes) -> Any:
+    if not body:
+        raise ProtocolError("empty request body; expected a JSON object")
+    try:
+        return json.loads(body)
+    except ValueError as error:
+        raise ProtocolError(f"request body is not valid JSON: {error}") \
+            from error
+
+
+def _wait_seconds(query: Dict[str, str]) -> Optional[float]:
+    raw = query.get("wait")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError as error:
+        raise ProtocolError(f"'wait' must be a number, got {raw!r}") \
+            from error
+    return max(0.0, value)
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request: (method, path, query, body)."""
+    try:
+        request_line = await reader.readline()
+    except (ValueError, ConnectionError) as error:
+        raise _BadRequest(f"unreadable request line ({error})") from error
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _BadRequest("malformed HTTP request line")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = {key: values[-1]
+             for key, values in parse_qs(split.query).items()}
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as error:
+                raise _BadRequest("bad Content-Length header") from error
+    if content_length > _MAX_BODY_BYTES:
+        raise _BadRequest(f"request body too large "
+                          f"(> {_MAX_BODY_BYTES} bytes)")
+    body = (await reader.readexactly(content_length)
+            if content_length else b"")
+    return method, split.path, query, body
+
+
+_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                404: "Not Found", 405: "Method Not Allowed",
+                500: "Internal Server Error"}
+
+
+def _json_line(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+async def _write_json(writer: asyncio.StreamWriter, status: int,
+                      payload: Dict[str, Any]) -> None:
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# running a server
+# ---------------------------------------------------------------------------
+
+def run_server(service: JobService, host: str = DEFAULT_HOST,
+               port: int = DEFAULT_PORT, on_start: Any = None) -> None:
+    """Run a server in this thread until interrupted (the CLI path).
+
+    ``on_start(server)`` fires once the socket is bound — with
+    ``port=0`` that is the first moment the real port is known.
+
+    SIGINT and SIGTERM both shut down gracefully. Graceful matters:
+    the worker pool forks after the socket is bound, so the children
+    hold a copy of the listening socket — dying without shutting the
+    pool down leaves orphans keeping the port bound (and accepting
+    connections nothing will ever answer).
+    """
+    server = JobServer(service, host=host, port=port)
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        task = asyncio.current_task()
+        assert task is not None
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, task.cancel)
+            except NotImplementedError:     # non-Unix event loops
+                pass
+        try:
+            await server.serve_forever(on_start=on_start)
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+
+
+class BackgroundServer:
+    """A server running on its own event loop in a daemon thread.
+
+    The context manager the tests, the bench service row, and the
+    example use::
+
+        with BackgroundServer(JobService(store=store)) as server:
+            client = ServeClient(server.url)
+            ...
+
+    Entering starts the loop and binds the port (``port=0`` picks an
+    ephemeral one); exiting stops the server and joins the thread.
+    """
+
+    def __init__(self, service: JobService, host: str = DEFAULT_HOST,
+                 port: int = 0) -> None:
+        self.service = service
+        self.server = JobServer(service, host=host, port=port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def __enter__(self) -> "BackgroundServer":
+        started = threading.Event()
+        failure: List[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def _start() -> None:
+                try:
+                    await self.server.start()
+                except BaseException as error:  # noqa: BLE001
+                    failure.append(error)
+                finally:
+                    started.set()
+
+            loop.run_until_complete(_start())
+            if not failure:
+                loop.run_forever()
+            # Give cancelled handler tasks a chance to unwind cleanly.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+        self._thread = threading.Thread(target=_run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        started.wait(timeout=30)
+        if failure:
+            self._thread.join(timeout=5)
+            raise failure[0]
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)

@@ -1,0 +1,93 @@
+"""The server's background worker pool.
+
+A :class:`WorkerPool` owns a long-lived ``ProcessPoolExecutor`` whose
+workers run the exec layer's worker entry point
+(:func:`~repro.exec.executor.execute_job` — the same function the PR 1
+:class:`~repro.exec.executor.ParallelExecutor` ships to its pool), so a
+served simulation is bit-identical to a CLI run of the same job.
+
+Crash containment is the point of the process boundary: a worker that
+dies mid-job (OOM kill, segfault in an extension, ``os._exit``) breaks
+the pool, which surfaces here as :class:`WorkerCrash` on every affected
+job — the server marks those jobs *failed* instead of hanging their
+pollers — and the pool is rebuilt for subsequent work.
+
+``runner`` is injectable for tests (e.g. a crashing or slow runner);
+it must be a picklable module-level callable taking one
+:class:`~repro.exec.job.SimJob`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional
+
+from repro.exec.executor import execute_job
+from repro.exec.job import SimJob, SimResult
+
+
+class WorkerCrash(Exception):
+    """A worker process died before returning the job's result."""
+
+
+class WorkerPool:
+    """A restartable pool of simulation worker processes."""
+
+    def __init__(self, workers: int = 2,
+                 runner: Optional[Callable[[SimJob], SimResult]] = None
+                 ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.runner = runner if runner is not None else execute_job
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def _retire_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Drop a broken pool so the next job gets a fresh one."""
+        with self._lock:
+            if self._pool is broken:
+                self._pool = None
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    async def run_job(self, job: SimJob) -> SimResult:
+        """Run one job on a worker process and await its result.
+
+        Raises :class:`WorkerCrash` if the worker process dies, and
+        re-raises any exception the job itself raised (a failed job,
+        not a failed worker).
+        """
+        pool = self._ensure_pool()
+        try:
+            with warnings.catch_warnings():
+                # Python 3.12+ deprecation-warns on fork() from a
+                # multi-threaded process; the pool forks once and the
+                # children never touch the server's threads.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                future = pool.submit(self.runner, job)
+            return await asyncio.wrap_future(future)
+        except BrokenProcessPool as error:
+            self._retire_pool(pool)
+            raise WorkerCrash(
+                f"worker process died while running {job.describe()} "
+                f"({error})") from error
+
+    def shutdown(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            # wait=True joins the executor's management thread, so its
+            # wakeup pipe is closed *before* interpreter exit — with
+            # wait=False the concurrent.futures atexit hook races the
+            # still-alive thread and logs a spurious EBADF traceback.
+            pool.shutdown(wait=True, cancel_futures=True)

@@ -91,6 +91,15 @@ class TestShadowSizingSweep:
             assert out.count(sizing) >= 2
 
 
+class TestServeSession:
+    def test_warm_server_answers_from_store(self, capsys):
+        load_example("serve_session").main()
+        out = capsys.readouterr().out
+        assert out.count("source=executed") == 3    # cold: all simulate
+        assert "3 jobs, 0 failed" in out
+        assert "sources=['store'] executed=0" in out
+
+
 @pytest.mark.slow
 class TestSecurityMatrixExample:
     def test_matrix_prints(self, capsys):

@@ -1,0 +1,142 @@
+"""Tests for the serve submission protocol (repro.serve.protocol)."""
+
+import pytest
+
+from repro.api.registry import attack_names
+from repro.api.scenario import Scenario
+from repro.core.policy import CommitPolicy
+from repro.serve.protocol import (ProtocolError, SUBMIT_KINDS, build_jobs,
+                                  job_summary)
+from repro.spec import get_spec
+from repro.workloads import suite_names
+
+
+class TestBuildJobs:
+    def test_attack_payload_expands_policies(self):
+        jobs = build_jobs({"kind": "attack", "target": "meltdown",
+                           "policies": ["baseline", "wfc"], "secret": 7})
+        assert [job.policy for job in jobs] == [CommitPolicy.BASELINE,
+                                               CommitPolicy.WFC]
+        assert all(job.kind == "attack" and job.target == "meltdown"
+                   for job in jobs)
+        assert all(job.params["secret"] == 7 for job in jobs)
+
+    def test_attack_jobs_match_scenario_keys(self):
+        """A served job is the same content-hashed job the CLI runs."""
+        job = build_jobs({"kind": "attack", "target": "meltdown",
+                          "policy": "wfc"})[0]
+        assert job.key() == Scenario.attack(
+            "meltdown", CommitPolicy.WFC).job().key()
+
+    def test_matrix_defaults_to_full_registry(self):
+        jobs = build_jobs({"kind": "matrix"})
+        assert len(jobs) == len(attack_names()) * 3
+
+    def test_matrix_subset(self):
+        jobs = build_jobs({"kind": "matrix", "attacks": ["meltdown"],
+                           "policies": ["wfc"]})
+        assert len(jobs) == 1
+
+    def test_workload_suite_expands(self):
+        jobs = build_jobs({"kind": "workload", "instructions": 500})
+        assert [job.target for job in jobs] == suite_names()
+        assert all(job.instructions == 500 for job in jobs)
+
+    def test_workload_defaults_to_baseline_policy(self):
+        job = build_jobs({"kind": "workload", "target": "namd"})[0]
+        assert job.policy is CommitPolicy.BASELINE
+
+    def test_verify_seed_range(self):
+        jobs = build_jobs({"kind": "verify", "count": 3, "seed": 5,
+                           "policy": "wfc"})
+        assert len(jobs) == 3
+        assert all(job.kind == "verify" for job in jobs)
+        assert {job.params["seed"] for job in jobs} == {5, 6, 7}
+
+    def test_sweep_grid(self):
+        jobs = build_jobs({
+            "kind": "sweep", "benchmarks": ["namd", "mcf"],
+            "policies": ["wfc"], "instructions": 500,
+            "variants": {"default": {},
+                         "rob96": {"core.rob_entries": 96}}})
+        # (2 benchmarks) x (1 policy) x (2 variants)
+        assert len(jobs) == 4
+        assert len({job.key() for job in jobs}) == 4
+
+    def test_spec_preset_and_overrides_flow_into_key(self):
+        plain = build_jobs({"kind": "attack", "target": "meltdown",
+                            "policy": "wfc"})[0]
+        preset = build_jobs({"kind": "attack", "target": "meltdown",
+                             "policy": "wfc",
+                             "preset": "little-core"})[0]
+        derived = build_jobs({"kind": "attack", "target": "meltdown",
+                              "policy": "wfc", "preset": "little-core",
+                              "set": ["core.rob_entries=96"]})[0]
+        assert len({plain.key(), preset.key(), derived.key()}) == 3
+        assert preset.params["machine_spec_digest"] == \
+            get_spec("little-core").digest()
+
+    def test_backend_flows_into_params(self):
+        job = build_jobs({"kind": "workload", "target": "namd",
+                          "backend": "fast"})[0]
+        assert job.params["backend"] == "fast"
+
+
+class TestMalformedPayloads:
+    @pytest.mark.parametrize("payload", [
+        None,
+        [],
+        "a string",
+        {},                                        # missing kind
+        {"kind": "explode"},                       # unknown kind
+        {"kind": "attack"},                        # missing target
+        {"kind": "attack", "target": 3},           # non-string target
+        {"kind": "attack", "target": "meltdown",
+         "policies": []},                          # empty policies
+        {"kind": "attack", "target": "meltdown",
+         "policies": ["nope"]},                    # unknown policy
+        {"kind": "attack", "target": "meltdown",
+         "secret": "x"},                           # non-int field
+        {"kind": "attack", "target": "meltdown",
+         "secret": True},                          # bool is not an int
+        {"kind": "workload", "target": "namd",
+         "instructions": 0},                       # below minimum
+        {"kind": "workload", "target": "namd",
+         "set": "core.rob_entries=96"},            # set must be a list
+        {"kind": "sweep", "benchmarks": []},       # empty sweep
+        {"kind": "matrix", "attacks": "meltdown"},  # not a list
+    ])
+    def test_rejected_with_protocol_error(self, payload):
+        with pytest.raises(ProtocolError):
+            build_jobs(payload)
+
+    def test_registry_config_errors_become_protocol_errors(self):
+        with pytest.raises(ProtocolError):
+            build_jobs({"kind": "attack", "target": "not-an-attack"})
+        with pytest.raises(ProtocolError):
+            build_jobs({"kind": "attack", "target": "meltdown",
+                        "preset": "not-a-preset"})
+        with pytest.raises(ProtocolError):
+            build_jobs({"kind": "attack", "target": "meltdown",
+                        "set": ["no.such.path=1"]})
+
+    def test_error_carries_http_status(self):
+        with pytest.raises(ProtocolError) as caught:
+            build_jobs({"kind": "explode"})
+        assert caught.value.status == 400
+
+    def test_submit_kinds_are_stable(self):
+        assert SUBMIT_KINDS == ("attack", "matrix", "workload", "verify",
+                                "sweep")
+
+
+class TestJobSummary:
+    def test_summary_fields(self):
+        job = build_jobs({"kind": "attack", "target": "meltdown",
+                          "policy": "wfc", "backend": "fast"})[0]
+        summary = job_summary(job)
+        assert summary["key"] == job.key()
+        assert summary["kind"] == "attack"
+        assert summary["target"] == "meltdown"
+        assert summary["policy"] == "wfc"
+        assert summary["backend"] == "fast"

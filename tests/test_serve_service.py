@@ -1,0 +1,381 @@
+"""End-to-end tests for the simulation service (repro.serve).
+
+Exercises the transport-free :class:`JobService` core, the asyncio HTTP
+server with the stdlib :class:`ServeClient`, and the CLI front-ends
+(``repro submit`` / ``repro status``) against a live in-process server
+— including the PR's acceptance proof: two concurrent clients
+submitting the same job cost exactly one simulation, and a fresh
+server over the same SQLite store serves it without simulating at all.
+"""
+
+import asyncio
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.core.policy import CommitPolicy
+from repro.exec.job import SimResult, workload_job
+from repro.serve import (BackgroundServer, JobService, ProtocolError,
+                         ServeClient, ServeError, SQLiteResultStore,
+                         WorkerCrash, WorkerPool)
+
+# Serve tests submit real (tiny) simulations; the transport is the
+# thing under test, not the micro-architecture.
+WORKLOAD_PAYLOAD = {"kind": "workload", "target": "namd",
+                    "policy": "wfc", "instructions": 400}
+
+
+def _fake_runner(job):
+    """Picklable stand-in runner: no simulation, instant result."""
+    return SimResult(job_key=job.key(), kind=job.kind, target=job.target,
+                     policy=job.policy, cycles=777,
+                     instructions=job.instructions)
+
+
+def _slow_runner(job):
+    time.sleep(0.8)
+    return _fake_runner(job)
+
+
+def _crashing_runner(job):
+    import os
+
+    os._exit(13)                      # kills the worker process outright
+
+
+def _failing_runner(job):
+    raise ValueError("the job itself is broken")
+
+
+def run_service(coro_fn, store, **service_kwargs):
+    """Drive one async scenario against a fresh JobService."""
+    async def _main():
+        service = JobService(store=store, **service_kwargs)
+        try:
+            return await coro_fn(service)
+        finally:
+            service.shutdown()
+
+    return asyncio.run(_main())
+
+
+class TestJobService:
+    def test_submit_poll_result_round_trip(self, tmp_path):
+        async def scenario(service):
+            envelope = await service.submit(WORKLOAD_PAYLOAD)
+            assert [job["source"] for job in envelope["jobs"]] == \
+                ["executed"]
+            state = await service.batch_state(envelope["batch"], wait=60)
+            return state
+
+        state = run_service(scenario, store=SQLiteResultStore(tmp_path),
+                            runner=_fake_runner)
+        assert state["completed"] == state["total"] == 1
+        assert state["failed"] == 0
+        job = state["jobs"][0]
+        assert job["status"] == "done"
+        assert job["result"]["cycles"] == 777
+
+    def test_duplicate_submit_dedups_on_job_key(self, tmp_path):
+        async def scenario(service):
+            first = await service.submit(WORKLOAD_PAYLOAD)
+            inflight = await service.submit(WORKLOAD_PAYLOAD)
+            await service.batch_state(first["batch"], wait=60)
+            memo = await service.submit(WORKLOAD_PAYLOAD)
+            return first, inflight, memo, dict(service.counters)
+
+        first, inflight, memo, counters = run_service(
+            scenario, store=SQLiteResultStore(tmp_path),
+            runner=_slow_runner)
+        assert first["jobs"][0]["source"] == "executed"
+        assert inflight["jobs"][0]["source"] == "inflight"
+        assert memo["jobs"][0]["source"] == "memo"
+        assert first["jobs"][0]["key"] == memo["jobs"][0]["key"]
+        assert counters["executed"] == 1
+
+    def test_repeated_job_within_batch_counted_once(self, tmp_path):
+        async def scenario(service):
+            envelope = await service.submit(
+                {"kind": "verify", "count": 1, "seed": 0,
+                 "policies": ["wfc", "wfc"]})
+            await service.batch_state(envelope["batch"], wait=60)
+            return envelope, dict(service.counters)
+
+        envelope, counters = run_service(
+            scenario, store=SQLiteResultStore(tmp_path),
+            runner=_fake_runner)
+        keys = [job["key"] for job in envelope["jobs"]]
+        assert keys[0] == keys[1]
+        assert counters["executed"] == 1
+
+    def test_store_hit_answers_without_simulating(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        job = workload_job("namd", CommitPolicy.WFC, instructions=400)
+        store.put(job, _fake_runner(job))
+
+        async def scenario(service):
+            envelope = await service.submit(WORKLOAD_PAYLOAD)
+            state = await service.batch_state(envelope["batch"], wait=10)
+            return envelope, state, dict(service.counters)
+
+        envelope, state, counters = run_service(
+            scenario, store=store, runner=_crashing_runner)
+        # The runner would crash the worker — a store hit never runs it.
+        assert envelope["jobs"][0]["source"] == "store"
+        assert state["jobs"][0]["status"] == "done"
+        assert counters == {"executed": 0, "store_hits": 1,
+                            "memo_hits": 0, "inflight_hits": 0,
+                            "failed": 0}
+
+    def test_worker_crash_fails_job_instead_of_hanging(self, tmp_path):
+        async def scenario(service):
+            envelope = await service.submit(WORKLOAD_PAYLOAD)
+            state = await service.batch_state(envelope["batch"], wait=60)
+            return state, dict(service.counters)
+
+        state, counters = run_service(
+            scenario, store=SQLiteResultStore(tmp_path),
+            runner=_crashing_runner)
+        job = state["jobs"][0]
+        assert job["status"] == "failed"
+        assert "WorkerCrash" in job["error"]
+        assert counters["failed"] == 1
+
+    def test_job_raised_exception_fails_job(self, tmp_path):
+        async def scenario(service):
+            envelope = await service.submit(WORKLOAD_PAYLOAD)
+            return await service.batch_state(envelope["batch"], wait=60)
+
+        state = run_service(scenario,
+                            store=SQLiteResultStore(tmp_path),
+                            runner=_failing_runner)
+        job = state["jobs"][0]
+        assert job["status"] == "failed"
+        assert "the job itself is broken" in job["error"]
+
+    def test_failed_job_is_retried_on_resubmit(self, tmp_path):
+        async def scenario(service):
+            first = await service.submit(WORKLOAD_PAYLOAD)
+            await service.batch_state(first["batch"], wait=60)
+            service.pool.runner = _fake_runner      # "fixed" deploy
+            retry = await service.submit(WORKLOAD_PAYLOAD)
+            state = await service.batch_state(retry["batch"], wait=60)
+            return retry, state
+
+        retry, state = run_service(
+            scenario, store=SQLiteResultStore(tmp_path),
+            runner=_crashing_runner)
+        assert retry["jobs"][0]["source"] == "executed"
+        assert state["jobs"][0]["status"] == "done"
+
+    def test_unknown_job_and_batch_are_404(self, tmp_path):
+        async def scenario(service):
+            with pytest.raises(ProtocolError) as job_error:
+                await service.job_state("no-such-key")
+            with pytest.raises(ProtocolError) as batch_error:
+                await service.batch_state("no-such-batch")
+            return job_error.value.status, batch_error.value.status
+
+        assert run_service(scenario, store=SQLiteResultStore(tmp_path),
+                           runner=_fake_runner) == (404, 404)
+
+
+class TestWorkerPool:
+    def test_crash_is_contained_and_pool_recovers(self):
+        async def scenario():
+            pool = WorkerPool(workers=1, runner=_crashing_runner)
+            job = workload_job("namd", CommitPolicy.WFC,
+                               instructions=400)
+            try:
+                with pytest.raises(WorkerCrash):
+                    await pool.run_job(job)
+                pool.runner = _fake_runner
+                result = await pool.run_job(job)
+                assert result.cycles == 777
+            finally:
+                pool.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+
+class TestHttpServer:
+    """The asyncio HTTP layer, driven by the stdlib client."""
+
+    def test_http_round_trip_and_stream(self, tmp_path):
+        service = JobService(store=SQLiteResultStore(tmp_path),
+                             workers=1, runner=_fake_runner)
+        with BackgroundServer(service) as server:
+            client = ServeClient(server.url)
+            health = client.health()
+            assert health["ok"]
+            envelope = client.submit(WORKLOAD_PAYLOAD)
+            final = client.wait_batch(envelope["batch"], timeout=60)
+            assert final["failed"] == 0
+            assert final["jobs"][0]["result"]["cycles"] == 777
+
+            key = envelope["jobs"][0]["key"]
+            job = client.job(key, wait=5)
+            assert job["status"] == "done"
+            listing = client.jobs(status="done")
+            assert key in [row["key"] for row in listing["jobs"]]
+
+            lines = list(client.stream(envelope["batch"]))
+            assert lines[-1]["end"] is True
+            assert lines[0]["key"] == key
+
+            stats = client.stats()
+            assert stats["jobs"]["executed"] == 1
+            assert stats["store"]["backend"] == "sqlite"
+
+    def test_malformed_requests_are_4xx(self, tmp_path):
+        service = JobService(store=SQLiteResultStore(tmp_path),
+                             workers=1, runner=_fake_runner)
+        with BackgroundServer(service) as server:
+            client = ServeClient(server.url)
+            with pytest.raises(ServeError) as bad_kind:
+                client.submit({"kind": "explode"})
+            assert bad_kind.value.status == 400
+            with pytest.raises(ServeError) as missing:
+                client.job("no-such-key")
+            assert missing.value.status == 404
+            with pytest.raises(ServeError) as endpoint:
+                client._get("/v1/nope")
+            assert endpoint.value.status == 404
+            with pytest.raises(ServeError) as method:
+                client._request("POST", "/v1/stats", body={})
+            assert method.value.status == 405
+            with pytest.raises(ServeError) as not_json:
+                request = urllib.request.Request(
+                    f"{server.url}/v1/submit", data=b"not json{",
+                    method="POST")
+                try:
+                    urllib.request.urlopen(request, timeout=10)
+                except urllib.error.HTTPError as error:
+                    raise ServeError("bad", status=error.code) from error
+            assert not_json.value.status == 400
+
+    def test_wait_clamps_and_times_out(self, tmp_path):
+        service = JobService(store=SQLiteResultStore(tmp_path),
+                             workers=1, runner=_slow_runner)
+        with BackgroundServer(service) as server:
+            client = ServeClient(server.url)
+            envelope = client.submit(WORKLOAD_PAYLOAD)
+            # A short wait returns a non-terminal state, not a hang.
+            state = client.job(envelope["jobs"][0]["key"], wait=0.05)
+            assert state["status"] in ("queued", "running")
+            final = client.wait_batch(envelope["batch"], timeout=60)
+            assert final["jobs"][0]["status"] == "done"
+
+
+class TestSharedStoreAcceptance:
+    """The PR's end-to-end proof: many clients, one simulation."""
+
+    MATRIX_PAYLOAD = {"kind": "matrix", "attacks": ["meltdown"],
+                      "policies": ["wfc"], "instructions": 2000}
+
+    def test_concurrent_clients_share_one_execution(self, tmp_path):
+        service = JobService(store=SQLiteResultStore(tmp_path),
+                             workers=2)
+        with BackgroundServer(service) as server:
+            outcomes = [None, None]
+
+            def client_run(slot):
+                client = ServeClient(server.url)
+                envelope = client.submit(self.MATRIX_PAYLOAD)
+                final = client.wait_batch(envelope["batch"], timeout=300)
+                outcomes[slot] = (envelope, final)
+
+            threads = [threading.Thread(target=client_run, args=(slot,))
+                       for slot in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+
+            assert all(outcomes)
+            (env_a, final_a), (env_b, final_b) = outcomes
+            # Identical job identity and identical results...
+            assert env_a["jobs"][0]["key"] == env_b["jobs"][0]["key"]
+            result_a = final_a["jobs"][0]["result"]
+            result_b = final_b["jobs"][0]["result"]
+            assert result_a == result_b
+            # A real attack simulation ran: the planted secret is
+            # recorded (and WFC keeps it from leaking).
+            assert result_a["secret"] == 42
+            assert result_a["leaked"] != result_a["secret"]
+            # ...from exactly one simulation: the slower submitter was
+            # deduped onto the other's in-flight or completed record.
+            sources = sorted(env["jobs"][0]["source"]
+                             for env in (env_a, env_b))
+            assert sources[0] == "executed"
+            assert sources[1] in ("inflight", "memo")
+            assert service.counters["executed"] == 1
+
+        # A brand-new server instance over the same store file answers
+        # instantly from the shared corpus — zero simulations.
+        fresh = JobService(store=SQLiteResultStore(tmp_path), workers=1,
+                           runner=_crashing_runner)
+        with BackgroundServer(fresh) as server:
+            client = ServeClient(server.url)
+            envelope = client.submit(self.MATRIX_PAYLOAD)
+            assert envelope["jobs"][0]["source"] == "store"
+            state = client.batch(envelope["batch"])
+            assert state["jobs"][0]["status"] == "done"
+            assert state["jobs"][0]["result"] == result_a
+            assert fresh.counters["executed"] == 0
+
+
+class TestServeCli:
+    """`repro submit` / `repro status` against a live server."""
+
+    @pytest.fixture()
+    def server(self, tmp_path):
+        service = JobService(store=SQLiteResultStore(tmp_path),
+                             workers=1, runner=_fake_runner)
+        with BackgroundServer(service) as background:
+            yield background
+
+    def test_submit_wait_and_status(self, server, capsys):
+        payload = json.dumps(WORKLOAD_PAYLOAD)
+        rc = main(["submit", payload, "--url", server.url,
+                   "--wait", "60", "--format", "json"])
+        assert rc == 0
+        batch = json.loads(capsys.readouterr().out)
+        assert batch["completed"] == batch["total"] == 1
+        key = batch["jobs"][0]["key"]
+
+        rc = main(["status", key, "--url", server.url,
+                   "--format", "json"])
+        assert rc == 0
+        job = json.loads(capsys.readouterr().out)
+        assert job["status"] == "done"
+
+        rc = main(["status", "--url", server.url, "--format", "json"])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["jobs"]["known"] == 1
+
+    def test_submit_from_file(self, server, tmp_path, capsys):
+        path = tmp_path / "payload.json"
+        path.write_text(json.dumps(WORKLOAD_PAYLOAD))
+        rc = main(["submit", f"@{path}", "--url", server.url])
+        assert rc == 0
+        assert "1 jobs submitted" in capsys.readouterr().out
+
+    def test_submit_invalid_json_is_an_error(self, server, capsys):
+        rc = main(["submit", "{not json", "--url", server.url])
+        assert rc == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_submit_protocol_error_is_an_error(self, server, capsys):
+        rc = main(["submit", '{"kind": "explode"}', "--url", server.url])
+        assert rc == 1
+        assert "unknown submission kind" in capsys.readouterr().err
