@@ -9,7 +9,7 @@ Table IV  — I-cache, iTLB, dTLB and Transient variants closed by both.
 The benchmark timing measures the full attack campaign.
 """
 
-from repro.attacks import security_matrix
+from repro.api import Session
 from repro.attacks.runner import render_matrix
 from repro.attacks.tsa import run_tsa_vulnerable
 from repro.core.policy import CommitPolicy
@@ -33,7 +33,8 @@ EXPECTED = {
 
 def test_tables_3_and_4_security_matrix(benchmark):
     matrix = benchmark.pedantic(
-        lambda: security_matrix(secret=42), rounds=1, iterations=1)
+        lambda: Session(cache=False).matrix(secret=42),
+        rounds=1, iterations=1)
     print()
     print(render_matrix(matrix))
 

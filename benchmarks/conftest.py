@@ -1,6 +1,6 @@
 """Shared fixtures for the figure/table regeneration benchmarks.
 
-One :class:`~repro.analysis.experiment.ExperimentRunner` is shared by
+One :class:`~repro.analysis.experiment.FigureRunner` is shared by
 every bench so each (workload, policy) simulation runs exactly once per
 session; the per-bench timing then measures series derivation over the
 memoized runs, while the first bench to need a policy pays for its

@@ -13,9 +13,9 @@ Usage::
 
 import sys
 
-from repro.analysis.experiment import ExperimentRunner
 from repro.analysis.report import (render_ipc_figure, render_two_series,
                                    render_figure_series)
+from repro.api import Session
 from repro.core.policy import CommitPolicy
 
 DEFAULT_BENCHMARKS = ["mcf", "x264", "deepsjeng", "lbm", "gcc"]
@@ -23,7 +23,9 @@ DEFAULT_BENCHMARKS = ["mcf", "x264", "deepsjeng", "lbm", "gcc"]
 
 def main() -> None:
     benchmarks = sys.argv[1:] or DEFAULT_BENCHMARKS
-    runner = ExperimentRunner(benchmarks=benchmarks, instructions=10_000)
+    session = Session(cache=False)
+    runner = session.experiment(benchmarks=benchmarks,
+                                instructions=10_000)
 
     print(render_ipc_figure(runner.normalized_ipc(CommitPolicy.WFC)))
     print()

@@ -1,11 +1,12 @@
 """Experiment orchestration and figure/table reproduction."""
 
-from repro.analysis.experiment import ExperimentRunner
+from repro.analysis.experiment import ExperimentRunner, FigureRunner
 from repro.analysis.report import (render_figure_series, render_ipc_figure,
                                    render_sizing_figure)
 
 __all__ = [
-    "ExperimentRunner",
+    "ExperimentRunner",     # deprecated alias of FigureRunner
+    "FigureRunner",
     "render_figure_series",
     "render_ipc_figure",
     "render_sizing_figure",

@@ -1,4 +1,4 @@
-"""ExperimentRunner: one simulation per (workload, policy), shared by all
+"""FigureRunner: one simulation per (workload, policy), shared by all
 figures.
 
 Every performance figure in the paper (Figures 6-9 and 11-16) is a
@@ -8,10 +8,15 @@ describes each (workload, policy) pair as a
 or ``multiprocessing``-parallel, optionally backed by the persistent
 on-disk result cache), and memoizes the resulting
 :class:`~repro.exec.job.SimResult` for the figure derivations.
+
+``ExperimentRunner`` is the class's retired name; the alias still
+constructs a :class:`FigureRunner` but warns, and disappears next
+release.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policy import CommitPolicy
@@ -31,20 +36,19 @@ FIGURE_POLICIES = (CommitPolicy.BASELINE, CommitPolicy.WFB,
                    CommitPolicy.WFC)
 
 
-class ExperimentRunner:
+class FigureRunner:
     """Runs the suite under each policy and derives the figure series.
 
     Each figure method returns an ordered ``{benchmark: value}`` dict,
     with an ``Average`` entry appended (arithmetic mean for rates/sizes,
     geometric mean for normalized IPC — matching the paper).
 
-    The runner is a legacy wrapper over the unified API: its
-    simulations run through a :class:`~repro.api.session.Session`
-    (prefer :meth:`Session.experiment` to construct one).  ``session``
-    supplies the wiring directly; ``executor`` overrides the execution
-    strategy; otherwise ``jobs``/``cache``/``progress`` pick one
-    (``jobs > 1`` fans simulations out over a process pool, ``cache``
-    persists results across invocations).
+    Simulations run through a :class:`~repro.api.session.Session`
+    (prefer :meth:`Session.experiment` to construct a runner).
+    ``session`` supplies the wiring directly; ``executor`` overrides the
+    execution strategy; otherwise ``jobs``/``cache``/``progress`` pick
+    one (``jobs > 1`` fans simulations out over a process pool,
+    ``cache`` persists results across invocations).
     """
 
     def __init__(self, benchmarks: Optional[List[str]] = None,
@@ -194,6 +198,23 @@ class ExperimentRunner:
         """Figure 16 series: committed fraction of retired shadow entries."""
         return self._series(
             policy, lambda run: run.shadow_commit_rate(structure))
+
+
+class ExperimentRunner(FigureRunner):
+    """Deprecated name of :class:`FigureRunner` (one-release shim).
+
+    Constructs the same runner but emits a :class:`DeprecationWarning`;
+    migrate to :meth:`repro.api.session.Session.figures` /
+    :meth:`~repro.api.session.Session.experiment` (or
+    :class:`FigureRunner` directly) before the alias is removed.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "ExperimentRunner is deprecated and will be removed; use "
+            "FigureRunner (or Session.figures / Session.experiment)",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)
 
 
 def _mean(series: Dict[str, float]) -> float:

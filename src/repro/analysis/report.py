@@ -1,7 +1,7 @@
 """Figure series extraction and text rendering.
 
 :func:`figures_data` derives every per-figure series from one
-:class:`~repro.analysis.experiment.ExperimentRunner` — the single source
+:class:`~repro.analysis.experiment.FigureRunner` — the single source
 both output formats (JSON export and the text tables below) render
 from, so ``--format json`` exports exactly the series the text shows.
 

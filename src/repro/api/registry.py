@@ -18,9 +18,9 @@ kind now has a single decorator-based :class:`Registry`:
 Registries populate lazily: the first lookup imports the built-in
 modules, whose registration decorators run as a side effect of the
 import.  Registering a new component is therefore one decorated
-function/profile in one module — the CLI choices, ``security_matrix``
-rows, suite order and :class:`~repro.machine.Machine` dispatch all
-derive from the registry.
+function/profile in one module — the CLI choices,
+:meth:`~repro.api.session.Session.matrix` rows, suite order and
+:class:`~repro.machine.Machine` dispatch all derive from the registry.
 """
 
 from __future__ import annotations

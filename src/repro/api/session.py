@@ -9,9 +9,11 @@ entirely.  A session owns that wiring once::
     matrix = session.matrix()                       # Tables III & IV
     figures = session.figures(benchmarks=["mcf"])   # Figures 6-9, 11-16
     result = session.sweep(Sweep(...))              # ablation grids
+    report = session.sample("mcf")                  # sampled simulation
 
-``security_matrix`` and ``ExperimentRunner`` remain as thin legacy
-wrappers over this API.
+``security_matrix`` and ``ExperimentRunner`` are deprecated one-release
+shims over this API (use :meth:`Session.matrix` and
+:class:`~repro.analysis.experiment.FigureRunner`).
 """
 
 from __future__ import annotations
@@ -143,13 +145,13 @@ class Session:
                    instructions: int = DEFAULT_INSTRUCTION_BUDGET,
                    spec: Optional["MachineSpec"] = None,
                    backend: str = "cycle"):
-        """An :class:`~repro.analysis.experiment.ExperimentRunner` whose
+        """A :class:`~repro.analysis.experiment.FigureRunner` whose
         simulations run through this session."""
-        from repro.analysis.experiment import ExperimentRunner
+        from repro.analysis.experiment import FigureRunner
 
-        return ExperimentRunner(benchmarks=benchmarks,
-                                instructions=instructions, session=self,
-                                spec=spec, backend=backend)
+        return FigureRunner(benchmarks=benchmarks,
+                            instructions=instructions, session=self,
+                            spec=spec, backend=backend)
 
     def figures(self, benchmarks: Optional[List[str]] = None,
                 instructions: int = DEFAULT_INSTRUCTION_BUDGET,
@@ -210,6 +212,47 @@ class Session:
         results = self.executor.run(jobs)
         return VerifyReport(
             verdicts=[verdict_from_sim(result) for result in results])
+
+    def sample(self, workload: str,
+               policy: CommitPolicy = CommitPolicy.BASELINE,
+               instructions: int = 1_000_000,
+               interval: Optional[int] = None,
+               warmup: Optional[int] = None,
+               windows: Optional[int] = None,
+               window: Optional[int] = None,
+               seed: int = 0,
+               warm: bool = True,
+               spec: Optional["MachineSpec"] = None,
+               backend: str = "cycle",
+               ff_backend: str = "fast"):
+        """Sampled (SimPoint-style) simulation of one long workload.
+
+        The run is divided into ``interval``-instruction slices; a
+        seeded selection of ``windows`` slices is measured on
+        ``backend`` (``window`` instructions each, after ``warmup``
+        instructions of cache/predictor warming), with the fast-forward
+        between slice boundaries done once on ``ff_backend``.  Each
+        window is an independent content-hashed job: a parallel session
+        fans them out, and a repeated call is all cache hits.
+
+        Returns a :class:`~repro.sample.driver.SampleReport` with the
+        stitched whole-program IPC estimate and per-window error bars.
+        """
+        from repro.sample.driver import run_sample
+        from repro.sample.plan import SamplePlan
+
+        defaults = SamplePlan()
+        plan = SamplePlan(
+            interval=interval if interval is not None else defaults.interval,
+            warmup=warmup if warmup is not None else defaults.warmup,
+            windows=windows if windows is not None else defaults.windows,
+            window=window if window is not None else defaults.window,
+            seed=seed,
+        )
+        return run_sample(self.executor, workload, policy, plan=plan,
+                          total_instructions=instructions, spec=spec,
+                          backend=backend, ff_backend=ff_backend,
+                          warm=warm)
 
     # -- cache introspection -----------------------------------------------
 

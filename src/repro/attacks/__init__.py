@@ -65,5 +65,5 @@ __all__ = [
     "run_spectre_v1_prime_probe",
     "run_spectre_v2",
     "run_tsa",
-    "security_matrix",
+    "security_matrix",      # deprecated shim over Session.matrix
 ]

@@ -123,12 +123,21 @@ def security_matrix(attacks: Optional[List[str]] = None,
                     ) -> Dict[str, Dict[str, AttackResult]]:
     """Run every (attack, policy) pair — Tables III and IV.
 
-    Legacy wrapper over :meth:`repro.api.session.Session.matrix`; pass
+    Deprecated (one-release shim): call
+    :meth:`repro.api.session.Session.matrix` instead, which owns the
+    executor/cache wiring this wrapper re-creates per call.  Pass
     ``executor`` to reuse an existing executor/cache pair, otherwise the
     pairs run serially without a cache (the historical default).
     Returns ``{attack_name: {policy_value: AttackResult}}``.
     """
+    import warnings
+
     from repro.api.session import Session
+
+    warnings.warn(
+        "security_matrix is deprecated and will be removed; use "
+        "Session.matrix (repro.api.session)",
+        DeprecationWarning, stacklevel=2)
 
     if executor is not None:
         session = Session(executor=executor)

@@ -24,7 +24,8 @@ class CycleBackend:
             max_instructions: Optional[int] = None,
             privilege: PrivilegeLevel = PrivilegeLevel.USER,
             fault_handler_pc: Optional[int] = None,
-            initial_registers: Optional[Dict[int, int]] = None
+            initial_registers: Optional[Dict[int, int]] = None,
+            start_pc: Optional[int] = None
             ) -> RunResult:
         core = Core(
             program, machine.hierarchy,
@@ -35,5 +36,6 @@ class CycleBackend:
             privilege=privilege,
             fault_handler_pc=fault_handler_pc,
             initial_registers=initial_registers,
+            start_pc=start_pc,
         )
         return core.run(max_instructions=max_instructions)

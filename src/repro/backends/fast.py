@@ -250,7 +250,8 @@ class FastBackend:
             max_instructions: Optional[int] = None,
             privilege: PrivilegeLevel = PrivilegeLevel.USER,
             fault_handler_pc: Optional[int] = None,
-            initial_registers: Optional[Dict[int, int]] = None
+            initial_registers: Optional[Dict[int, int]] = None,
+            start_pc: Optional[int] = None
             ) -> RunResult:
         self._bind(machine)
         steps, _ = self._lowered(program)
@@ -278,7 +279,8 @@ class FastBackend:
         budget = max_instructions if max_instructions is not None \
             else float("inf")
 
-        i = 0
+        start = self._index_or_end(program, start_pc)
+        i = 0 if start is None else start
         while True:
             if i >= n:
                 self.reason = "ran_off_code"
@@ -290,6 +292,11 @@ class FastBackend:
                 self.reason = "budget"
                 break
 
+        # On a budget stop ``i`` already indexes the next instruction
+        # (every committed step retires exactly one), which is the
+        # resume point checkpointing records.
+        next_pc = (program.code_base + (i << 4)
+                   if self.reason == "budget" else None)
         counters = dict(zip(_COUNTER_KEYS, cn))
         cycles = int(tm[1]) + 1
         counters["cycles"] = cycles
@@ -300,6 +307,7 @@ class FastBackend:
             halted_reason=self.reason,
             fault_events=list(self.fault_events),
             counters=counters,
+            next_pc=next_pc,
         )
 
     def _index_or_end(self, program: Program,

@@ -21,6 +21,7 @@ from repro.bench.compare import (ComparisonReport, backend_speedups,
 from repro.bench.harness import (BENCH_SCHEMA_VERSION, BenchHarness,
                                  BenchSpec, FULL_SPECS, QUICK_SPECS,
                                  payload_fingerprint, with_backend)
+from repro.bench.sampled import render_sampled_rows, sampled_roundtrip
 from repro.bench.service import render_service_rows, service_roundtrip
 
 __all__ = [
@@ -33,8 +34,10 @@ __all__ = [
     "backend_speedups",
     "compare_payloads",
     "payload_fingerprint",
+    "render_sampled_rows",
     "render_service_rows",
     "render_speedups",
+    "sampled_roundtrip",
     "service_roundtrip",
     "with_backend",
 ]

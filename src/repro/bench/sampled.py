@@ -1,0 +1,103 @@
+"""Sampled-vs-full benchmark row: what sampling buys in wall-clock.
+
+One sampled row answers the question the sample subsystem exists for:
+*how much faster is a stitched estimate than simulating the whole
+budget, and how close does it land?*  It times the same (benchmark,
+policy, budget) twice:
+
+* **full** — every instruction through the detailed backend;
+* **sampled** — the same budget through
+  :func:`repro.sample.driver.run_sample`: one fast-forward scan plus
+  the plan's measured windows, stitched back together.
+
+Both runs go through an uncached executor, so the row measures
+simulation cost, not corpus hits.  Rows land under the ``sampled`` key
+of the bench payload, separate from the gated ``results`` rows (the
+row's wall-clock depends on the sampling plan, not just the cycle loop
+the gate protects).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.core.policy import CommitPolicy
+from repro.exec.cache import NullCache
+from repro.exec.executor import make_executor
+from repro.sample.driver import run_sample
+from repro.sample.plan import SamplePlan
+from repro.workloads.suite import run_workload
+
+# The default sampled-row shape: a budget long enough that sampling has
+# room to win (8 slices), small enough that the full run stays
+# seconds-scale in CI.  The stitched-vs-full gap scales *down* with
+# longer budgets (the anchor slice amortises), so this is the
+# pessimistic end of the accuracy story.
+DEFAULT_BENCHMARK = "mcf"
+DEFAULT_POLICY = CommitPolicy.BASELINE
+DEFAULT_INSTRUCTIONS = 200_000
+DEFAULT_PLAN = SamplePlan(interval=25_000, warmup=2_000, windows=4,
+                          window=5_000)
+
+
+def sampled_roundtrip(benchmark: str = DEFAULT_BENCHMARK,
+                      policy: CommitPolicy = DEFAULT_POLICY,
+                      instructions: int = DEFAULT_INSTRUCTIONS,
+                      plan: Optional[SamplePlan] = None,
+                      backend: str = "cycle",
+                      ff_backend: str = "fast",
+                      jobs: int = 1) -> Dict[str, Any]:
+    """Time one sampled-vs-full pair; returns the row.
+
+    ``backend`` is the detailed (measured) backend for both runs;
+    ``jobs`` fans the window batch out the way ``repro sample --jobs``
+    would (the full run is inherently serial either way).
+    """
+    plan = plan or DEFAULT_PLAN
+
+    start = time.perf_counter()
+    full = run_workload(benchmark, policy, instructions=instructions,
+                        backend=backend)
+    full_s = time.perf_counter() - start
+    full_ipc = full.ipc
+
+    executor = make_executor(workers=jobs, cache=NullCache())
+    start = time.perf_counter()
+    report = run_sample(executor, benchmark, policy, plan=plan,
+                        total_instructions=instructions,
+                        backend=backend, ff_backend=ff_backend)
+    sampled_s = time.perf_counter() - start
+
+    rel_err = (abs(report.stitched_ipc - full_ipc) / full_ipc
+               if full_ipc else 0.0)
+    return {
+        "benchmark": benchmark,
+        "policy": policy.value,
+        "instructions": instructions,
+        "backend": backend,
+        "ff_backend": ff_backend,
+        "plan": plan.to_params(),
+        "jobs": jobs,
+        "windows_measured": report.measured_windows,
+        "coverage": round(report.coverage, 4),
+        "full_s": round(full_s, 6),
+        "full_ipc": round(full_ipc, 6),
+        "sampled_s": round(sampled_s, 6),
+        "stitched_ipc": round(report.stitched_ipc, 6),
+        "ipc_rel_err": round(rel_err, 6),
+        # The headline number: wall-clock bought by sampling.
+        "speedup": round(full_s / max(sampled_s, 1e-9), 2),
+    }
+
+
+def render_sampled_rows(rows) -> str:
+    lines = ["sampled vs full (same budget, same detailed backend):"]
+    for row in rows:
+        lines.append(
+            f"  {row['benchmark']}/{row['policy']}@{row['backend']} "
+            f"x{row['instructions']}: full {row['full_s']:.2f}s "
+            f"(ipc {row['full_ipc']:.4f}) -> sampled "
+            f"{row['sampled_s']:.2f}s (ipc {row['stitched_ipc']:.4f}, "
+            f"err {row['ipc_rel_err']:.2%}), {row['speedup']:.1f}x")
+    return "\n".join(lines)

@@ -16,15 +16,21 @@ Commands:
 * ``verify [--count N] [--seed N] [--profile NAME]`` — differentially
   verify fuzzed programs against the in-order reference oracle under
   every policy (``repro.verify``), checking the SafeSpec leakage
-  invariants; the exit code counts failing cases.  ``--backend fast``
-  holds the fast backend to the oracle, ``--diff-backends cycle,fast``
-  also cross-checks the backends against each other.  Reproduce one
-  failing case with ``repro verify --seed N --count 1 --format json``.
+  invariants; the exit code counts failing cases, and a failing text
+  run prints the seed plus a one-line repro command.  ``--backend
+  fast`` holds the fast backend to the oracle, ``--diff-backends
+  cycle,fast`` also cross-checks the backends against each other.
+* ``sample <name> [--interval N] [--windows N]`` — checkpointed,
+  SimPoint-style sampled simulation (``repro.sample``): fast-forward on
+  the fast backend, measure a seeded selection of windows on the
+  detailed backend in parallel, and stitch a whole-program IPC estimate
+  with error bars.
 * ``bench [--quick] [--backend cycle,fast]`` — time the simulator
   (``repro.bench``), emit a schema-versioned ``BENCH_<rev>.json`` and
   gate against the committed ``benchmarks/baseline.json`` (exit 1 on a
   >10% slowdown); with a non-cycle backend it also reports the
-  fast-vs-cycle speedup (``--min-speedup X`` gates on it).
+  fast-vs-cycle speedup (``--min-speedup X`` gates on it), and
+  ``--sampled`` adds a sampled-vs-full wall-clock row.
 * ``serve [--port N] [--workers N] [--store sqlite]`` — run the
   simulation service: an asyncio HTTP job server over a pool of worker
   processes and a shared result store (``repro.serve``).
@@ -38,8 +44,16 @@ Commands:
 * ``table5`` — the hardware-overhead table.
 * ``asm <file>`` — assemble a text program and print its disassembly.
 
+Every ``--format json`` subcommand emits the same envelope::
+
+    {"schema_version": N, "rev": "<git rev>", "command": "<name>",
+     "payload": {...}}
+
+so consumers dispatch on ``command`` and version-gate on
+``schema_version`` without knowing any payload's shape.
+
 Every simulation-batch command (``attack``, ``matrix``, ``workload``,
-``figures``, ``verify``) is a thin client of
+``figures``, ``verify``, ``sample``) is a thin client of
 :class:`repro.api.session.Session`:
 ``--jobs N`` fans the batch out over N worker processes, and completed
 runs are reused from the persistent result cache (``--cache-dir``,
@@ -80,6 +94,25 @@ from repro.spec import (DEFAULT_SPEC, MachineSpec, derive_from_strings,
 from repro.workloads import suite_names
 
 _POLICIES = {p.value: p for p in CommitPolicy}
+
+
+def _emit_json(command: str, payload: dict) -> None:
+    """Print one ``--format json`` result in the uniform envelope.
+
+    Every JSON-emitting subcommand goes through here, so the outer
+    shape — ``schema_version`` (the result-store schema), ``rev`` (the
+    working tree), ``command`` (the subcommand name) and ``payload``
+    (the command-specific body) — is identical across the CLI.
+    """
+    from repro.bench.harness import git_revision
+
+    json.dump({
+        "schema_version": SCHEMA_VERSION,
+        "rev": git_revision(),
+        "command": command,
+        "payload": payload,
+    }, sys.stdout, indent=2)
+    print()
 
 
 def _parse_policy(value: str) -> CommitPolicy:
@@ -246,6 +279,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_options(verify)
     _add_backend_option(verify)
 
+    sample = sub.add_parser(
+        "sample",
+        help="checkpointed SimPoint-style sampled simulation of one "
+             "long workload (repro.sample)")
+    sample.add_argument("name", help="benchmark name (see `repro run`)")
+    sample.add_argument("--policy", type=_parse_policy,
+                        default=CommitPolicy.BASELINE,
+                        help="baseline / wfb / wfc (default: baseline)")
+    sample.add_argument("--instructions", type=int, default=1_000_000,
+                        metavar="N",
+                        help="total instruction budget the estimate "
+                             "covers (default: 1000000)")
+    sample.add_argument("--interval", type=int, default=None, metavar="N",
+                        help="instructions per slice / checkpoint "
+                             "spacing (default: 50000)")
+    sample.add_argument("--warmup", type=int, default=None, metavar="N",
+                        help="warmup instructions before each measured "
+                             "window (default: 2000)")
+    sample.add_argument("--windows", type=int, default=None, metavar="N",
+                        help="how many slices to measure (default: 8)")
+    sample.add_argument("--window", type=int, default=None, metavar="N",
+                        help="measured instructions per window "
+                             "(default: 10000)")
+    sample.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="window-selection seed (default: 0)")
+    sample.add_argument("--cold", action="store_true",
+                        help="restore architectural state only (drop the "
+                             "checkpoints' warm predictor/TLB/cache "
+                             "state)")
+    sample.add_argument("--ff-backend", default="fast", metavar="NAME",
+                        help="fast-forward backend for the checkpoint "
+                             "scan (default: fast)")
+    sample.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    _add_exec_options(sample)
+    _add_spec_options(sample)
+    _add_backend_option(sample)
+
     bench = sub.add_parser(
         "bench",
         help="time the simulator and gate against benchmarks/baseline.json")
@@ -279,6 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also measure a served warm-vs-cold "
                             "round-trip per backend (repro.serve over a "
                             "temporary shared SQLite store)")
+    bench.add_argument("--sampled", action="store_true",
+                       help="also measure a sampled-vs-full wall-clock "
+                            "pair for one long workload (repro.sample)")
     _add_spec_options(bench)
     _add_backend_option(bench, plural=True)
 
@@ -430,13 +504,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             "cached": sim.from_cache,
         })
     if args.format == "json":
-        payload = {
-            "schema": SCHEMA_VERSION,
-            "results": records,
-            "failures": failures,
-        }
-        json.dump(payload, sys.stdout, indent=2)
-        print()
+        _emit_json("attack", {"results": records, "failures": failures})
     _report_cache(session)
     return failures
 
@@ -446,16 +514,13 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     matrix = session.matrix(spec=_resolve_spec(args),
                             backend=args.backend)
     if args.format == "json":
-        payload = {
-            "schema": SCHEMA_VERSION,
+        _emit_json("matrix", {
             "matrix": {
                 attack: {policy: {"closed": result.closed,
                                   "leaked": result.leaked}
                          for policy, result in row.items()}
                 for attack, row in matrix.items()},
-        }
-        json.dump(payload, sys.stdout, indent=2)
-        print()
+        })
     else:
         print(render_matrix(matrix))
     _report_cache(session)
@@ -472,8 +537,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                            backend=args.backend)
          for name in names])
     if args.format == "json":
-        payload = {
-            "schema": SCHEMA_VERSION,
+        _emit_json(args.command, {
             "policy": args.policy.value,
             "instructions": args.instructions,
             "runs": [{
@@ -484,9 +548,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                 "cycles": run.cycles,
                 "cached": run.from_cache,
             } for run in results],
-        }
-        json.dump(payload, sys.stdout, indent=2)
-        print()
+        })
     else:
         header = (f"{'benchmark':10s} {'IPC':>7s} {'d-miss':>7s} "
                   f"{'i-miss':>7s} {'cycles':>9s}")
@@ -508,16 +570,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                               instructions=args.instructions,
                               spec=_resolve_spec(args))
     if args.format == "json":
-        payload = {
-            "schema": SCHEMA_VERSION,
+        _emit_json("figures", {
             "instructions": args.instructions,
             "benchmarks": benchmarks or suite_names(),
             "cache": {"hits": session.cache.hits,
                       "misses": session.cache.misses},
             "figures": figures,
-        }
-        json.dump(payload, sys.stdout, indent=2)
-        print()
+        })
     else:
         print(render_figures_text(figures))
     _report_cache(session)
@@ -525,7 +584,6 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.exec.job import SCHEMA_VERSION as _schema
     from repro.verify import fuzz_profile
 
     fuzz_profile(args.profile)      # unknown profiles fail before any run
@@ -538,22 +596,62 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         backend=backend)
     if args.format == "json":
         # report.to_payload() contributes fuzz_version and the verdicts.
-        payload = {
-            "schema": _schema,
+        _emit_json("verify", {
             "profile": args.profile,
             "seed": args.seed,
             "count": args.count,
             "backend": backend,
             **report.to_payload(),
-        }
-        json.dump(payload, sys.stdout, indent=2)
-        print()
+        })
     else:
         print(report.render_text())
+        if not report.ok:
+            # Failing text runs name the seed and hand back a one-line
+            # repro command — no --format json round-trip needed.
+            first = next(v for v in report.verdicts if not v.ok)
+            flag = ("--diff-backends" if "," in first.backend
+                    else "--backend")
+            print(f"first failing seed: {first.seed}")
+            print(f"reproduce: repro verify --seed {first.seed} "
+                  f"--count 1 --profile {first.profile} "
+                  f"--policy {first.policy.value} "
+                  f"{flag} {first.backend} --format json")
     _report_cache(session)
     # Clamped: a raw count would wrap modulo 256 at process exit (256
     # failures would read as success).
     return min(report.failures, 255)
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    session = _make_session(args)
+    report = session.sample(
+        args.name, policy=args.policy, instructions=args.instructions,
+        interval=args.interval, warmup=args.warmup,
+        windows=args.windows, window=args.window, seed=args.seed,
+        warm=not args.cold, spec=_resolve_spec(args),
+        backend=args.backend, ff_backend=args.ff_backend)
+    failed = len(report.failed_windows)
+    if args.format == "json":
+        _emit_json("sample", report.to_dict())
+    else:
+        print(report.render_text())
+        if failed:
+            # Failing text runs name the plan seed and hand back a
+            # one-line repro command — no --format json round-trip.
+            first = report.failed_windows[0]
+            plan = report.plan
+            print(f"first failing window: {first.index} "
+                  f"(seed {plan.seed}, "
+                  f"{first.halted_reason or 'unmeasured'})")
+            print(f"reproduce: repro sample {args.name} "
+                  f"--policy {report.policy.value} "
+                  f"--instructions {report.total_instructions} "
+                  f"--interval {plan.interval} --warmup {plan.warmup} "
+                  f"--windows {plan.windows} --window {plan.window} "
+                  f"--seed {plan.seed} --backend {report.backend} "
+                  f"--format json")
+    _report_cache(session)
+    return min(failed, 255)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -606,6 +704,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                                               store_dir=store_dir))
         payload["service"] = rows
         print(render_service_rows(rows))
+    if args.sampled:
+        from repro.bench.sampled import (render_sampled_rows,
+                                         sampled_roundtrip)
+
+        sampled_rows = [sampled_roundtrip()]
+        payload["sampled"] = sampled_rows
+        print(render_sampled_rows(sampled_rows))
     output = args.output or f"BENCH_{payload['rev']}.json"
     dump_payload(payload, output)
     print(f"wrote {output} "
@@ -649,15 +754,12 @@ def _cmd_specs(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
         if args.format == "json":
-            payload = {
-                "schema": SCHEMA_VERSION,
+            _emit_json("specs", {
                 "specs": [{"name": name,
                            "digest": get_spec(name).digest(),
                            "description": spec_description(name)}
                           for name in spec_names()],
-            }
-            json.dump(payload, sys.stdout, indent=2)
-            print()
+            })
         else:
             header = f"{'preset':18s} {'digest':12s} description"
             print(header)
@@ -670,16 +772,13 @@ def _cmd_specs(args: argparse.Namespace) -> int:
     if args.set_overrides:
         spec = derive_from_strings(spec, args.set_overrides)
     if args.format == "json":
-        payload = {
-            "schema": SCHEMA_VERSION,
+        _emit_json("specs", {
             "name": args.name,
             "digest": spec.digest(),
             "description": spec_description(args.name),
             "overrides": list(args.set_overrides),
             "spec": spec.to_dict(),
-        }
-        json.dump(payload, sys.stdout, indent=2)
-        print()
+        })
     else:
         print(f"{args.name}: {spec_description(args.name)}")
         print(f"digest: {spec.digest()}")
@@ -762,8 +861,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     envelope = client.submit(_load_submission(args.payload))
     if args.wait is None:
         if args.format == "json":
-            json.dump(envelope, sys.stdout, indent=2)
-            print()
+            _emit_json("submit", envelope)
         else:
             print(f"batch {envelope['batch']}: "
                   f"{len(envelope['jobs'])} jobs submitted")
@@ -771,8 +869,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 0
     final = client.wait_batch(envelope["batch"], timeout=args.wait)
     if args.format == "json":
-        json.dump(final, sys.stdout, indent=2)
-        print()
+        _emit_json("submit", final)
     else:
         print(f"batch {final['batch']}: {final['completed']}/"
               f"{final['total']} done, {final['failed']} failed")
@@ -798,8 +895,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
         payload = client.stats()
         failed = False
     if args.format == "json":
-        json.dump(payload, sys.stdout, indent=2)
-        print()
+        _emit_json("status", payload)
     elif args.job is not None:
         print(f"{payload['key']}  {payload['kind']}:{payload['target']}"
               f"/{payload['policy']}  {payload['status']}")
@@ -827,8 +923,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "stats":
         payload = store.stats()
         if args.format == "json":
-            json.dump(payload, sys.stdout, indent=2)
-            print()
+            _emit_json("cache", payload)
         else:
             print(f"[{payload['backend']}] {payload['location']} "
                   f"(schema v{payload['schema']})")
@@ -854,9 +949,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                            max_bytes=args.max_bytes,
                            all_schemas=args.all_schemas)
     if args.format == "json":
-        json.dump({"action": args.action, "removed": removed,
-                   "remaining": len(store)}, sys.stdout, indent=2)
-        print()
+        _emit_json("cache", {"action": args.action, "removed": removed,
+                             "remaining": len(store)})
     else:
         print(f"{args.action}: removed {removed} entries "
               f"({len(store)} remain)")
@@ -889,6 +983,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "specs": _cmd_specs,
     "verify": _cmd_verify,
+    "sample": _cmd_sample,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "submit": _cmd_submit,

@@ -34,6 +34,11 @@ class OracleError(ReproError):
     """
 
 
+class SampleError(ReproError):
+    """Sampled simulation could not produce an estimate (no measurable
+    windows, or a checkpoint could not be taken at the requested point)."""
+
+
 class MemoryFault(ReproError):
     """An architectural memory fault (raised at commit time only).
 

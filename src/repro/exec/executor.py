@@ -24,7 +24,7 @@ from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
 from repro.exec.cache import NullCache, ResultCache
-from repro.exec.job import ATTACK, VERIFY, SimJob, SimResult
+from repro.exec.job import ATTACK, SAMPLE, VERIFY, SimJob, SimResult
 
 # (completed count, total, job, result) -> None
 ProgressFn = Callable[[int, int, SimJob, SimResult], None]
@@ -44,6 +44,10 @@ def execute_job(job: SimJob) -> SimResult:
         from repro.verify.harness import run_verify_job
 
         return run_verify_job(job)
+    if job.kind == SAMPLE:
+        from repro.sample.driver import run_sample_job
+
+        return run_sample_job(job)
     from repro.workloads.suite import run_workload_job
 
     return run_workload_job(job)

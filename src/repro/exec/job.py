@@ -47,7 +47,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
 #     fast-functional and cycle-accurate results can never share a
 #     cache entry (their cycle counts differ within the documented
 #     tolerance).
-SCHEMA_VERSION = 5
+# v6: the ``sample`` job kind (checkpointed SimPoint-style windows)
+#     landed, and budget-stopped runs now record a resume PC; sampled
+#     window results encode the full sampling plan (interval, warmup,
+#     window length/index, fast-forward backend) in ``params``, so two
+#     plans can never share a window's cache entry.  The workload
+#     generator also changed semantics (stores no longer corrupt the
+#     pointer-chase table, so chasing workloads run past a few thousand
+#     instructions instead of faulting), invalidating cached results.
+SCHEMA_VERSION = 6
 
 # Single source of truth for the per-run budget; the workload suite
 # re-exports it (suite imports this module, never the reverse).
@@ -56,8 +64,9 @@ DEFAULT_INSTRUCTION_BUDGET = 20_000
 WORKLOAD = "workload"
 ATTACK = "attack"
 VERIFY = "verify"
+SAMPLE = "sample"
 
-_JOB_KINDS = (WORKLOAD, ATTACK, VERIFY)
+_JOB_KINDS = (WORKLOAD, ATTACK, VERIFY, SAMPLE)
 
 
 @dataclass(frozen=True)
@@ -65,9 +74,11 @@ class SimJob:
     """A content-hashable description of one simulation.
 
     ``kind`` is ``"workload"`` (``target`` names a suite benchmark),
-    ``"attack"`` (``target`` names a registered attack) or ``"verify"``
+    ``"attack"`` (``target`` names a registered attack), ``"verify"``
     (``target`` names a fuzz case; see
-    :func:`repro.verify.harness.verify_job`).  ``params``
+    :func:`repro.verify.harness.verify_job`) or ``"sample"`` (``target``
+    names a suite benchmark, the job measures one checkpointed window;
+    see :func:`repro.sample.driver.sample_job`).  ``params``
     carries kind-specific scenario data (an attack's planted ``secret``,
     future workload knobs) uniformly for every kind and flows into the
     job hash.  ``serial_group`` marks jobs that must not fan out to

@@ -75,3 +75,11 @@ class BranchTargetBuffer:
 
     def occupancy(self) -> int:
         return len(self._targets)
+
+    def snapshot(self) -> Dict[int, int]:
+        """Installed ``index -> target`` entries (warm-state dump)."""
+        return dict(self._targets)
+
+    def restore(self, targets: Dict[int, int]) -> None:
+        """Replace contents with a :meth:`snapshot`."""
+        self._targets = dict(targets)

@@ -68,6 +68,18 @@ class BimodalPredictor:
     def flush(self) -> None:
         self._counters = [1] * self._entries
 
+    def snapshot(self) -> dict:
+        """Trained state for checkpointing (statistics excluded)."""
+        return {"counters": list(self._counters)}
+
+    def restore(self, state: dict) -> None:
+        counters = state["counters"]
+        if len(counters) != self._entries:
+            raise ConfigError(
+                f"bimodal snapshot has {len(counters)} counters, "
+                f"table has {self._entries}")
+        self._counters = list(counters)
+
 
 @register_predictor("gshare")
 class GsharePredictor:
@@ -115,6 +127,19 @@ class GsharePredictor:
     def flush(self) -> None:
         self._counters = [1] * self._entries
         self._history = 0
+
+    def snapshot(self) -> dict:
+        """Trained state for checkpointing (statistics excluded)."""
+        return {"counters": list(self._counters), "history": self._history}
+
+    def restore(self, state: dict) -> None:
+        counters = state["counters"]
+        if len(counters) != self._entries:
+            raise ConfigError(
+                f"gshare snapshot has {len(counters)} counters, "
+                f"table has {self._entries}")
+        self._counters = list(counters)
+        self._history = int(state.get("history", 0))
 
 
 class ReturnStackBuffer:

@@ -157,9 +157,12 @@ class Machine:
             privilege: PrivilegeLevel = PrivilegeLevel.USER,
             fault_handler_pc: Optional[int] = None,
             initial_registers: Optional[Dict[int, int]] = None,
+            start_pc: Optional[int] = None,
             map_code: bool = True) -> RunResult:
         """Execute ``program`` to completion on this machine.
 
+        ``start_pc`` resumes execution at an arbitrary instruction in the
+        code image (checkpoint restore); default is the program start.
         ``map_code`` (default) identity-maps the program's code range as
         executable user pages before running.
         """
@@ -171,6 +174,7 @@ class Machine:
             privilege=privilege,
             fault_handler_pc=fault_handler_pc,
             initial_registers=initial_registers,
+            start_pc=start_pc,
         )
 
     # ------------------------------------------------------------------

@@ -199,6 +199,27 @@ class Cache:
         for cache_set in self._sets:
             cache_set.clear()
 
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> List[Tuple[int, ...]]:
+        """Resident line addresses per set, LRU-first (warm-state dump).
+
+        Statistics are deliberately excluded: a restored cache is warm but
+        starts counting from zero, like a measurement window should.
+        """
+        return [tuple(cache_set) for cache_set in self._sets]
+
+    def restore(self, sets: List[Tuple[int, ...]]) -> None:
+        """Replace contents with a :meth:`snapshot` (LRU order preserved)."""
+        if len(sets) != len(self._sets):
+            raise ConfigError(
+                f"{self.config.name}: snapshot has {len(sets)} sets, "
+                f"cache has {len(self._sets)}")
+        for cache_set, lines in zip(self._sets, sets):
+            cache_set.clear()
+            for line in lines:
+                cache_set[line] = True
+
     # -- statistics ---------------------------------------------------------
 
     @property

@@ -66,3 +66,19 @@ class MainMemory:
     def footprint(self) -> int:
         """Number of distinct bytes ever written."""
         return sum(mask.bit_count() for mask in self._written.values())
+
+    # -- checkpointing ----------------------------------------------------
+
+    def snapshot(self) -> "tuple[Dict[int, int], Dict[int, int]]":
+        """``(words, written)`` copies of the backing store.
+
+        Both dicts are keyed by aligned word index (``paddr >> 3``);
+        ``written`` holds the per-word written-byte masks that keep
+        :meth:`footprint` byte-exact across a restore.
+        """
+        return dict(self._words), dict(self._written)
+
+    def restore(self, words: Dict[int, int], written: Dict[int, int]) -> None:
+        """Replace the backing store with a :meth:`snapshot`."""
+        self._words = dict(words)
+        self._written = dict(written)

@@ -116,6 +116,10 @@ class PageTable:
         """Number of installed page mappings."""
         return len(self._entries)
 
+    def snapshot(self) -> "tuple[Translation, ...]":
+        """All installed translations, sorted by VPN (checkpoint dump)."""
+        return tuple(self._entries[vpn] for vpn in sorted(self._entries))
+
 
 def vpn_of(vaddr: int) -> int:
     """Virtual page number of an address."""

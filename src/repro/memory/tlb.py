@@ -108,6 +108,21 @@ class TLB:
     def flush_all(self) -> None:
         self._entries.clear()
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> "tuple[Translation, ...]":
+        """Resident translations, LRU-first (warm-state dump).
+
+        Statistics are excluded, mirroring :meth:`Cache.snapshot`.
+        """
+        return tuple(self._entries.values())
+
+    def restore(self, translations: "tuple[Translation, ...]") -> None:
+        """Replace contents with a :meth:`snapshot` (LRU order preserved)."""
+        self._entries.clear()
+        for translation in translations[-self._capacity:]:
+            self._entries[translation.vpn] = translation
+
     def occupancy(self) -> int:
         return len(self._entries)
 

@@ -69,6 +69,10 @@ class RunResult:
     halted_reason: str
     fault_events: List[FaultEvent] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
+    # Architectural PC of the instruction that would have retired next.
+    # Set only on ``budget`` stops (the resume point checkpointing needs);
+    # None when the program halted, faulted, or ran off the code image.
+    next_pc: Optional[int] = None
 
     @property
     def ipc(self) -> float:
@@ -100,7 +104,8 @@ class Core:
                  engine: Optional[SafeSpecEngine] = None,
                  privilege: PrivilegeLevel = PrivilegeLevel.USER,
                  fault_handler_pc: Optional[int] = None,
-                 initial_registers: Optional[Dict[int, int]] = None) -> None:
+                 initial_registers: Optional[Dict[int, int]] = None,
+                 start_pc: Optional[int] = None) -> None:
         self.program = program
         self.hierarchy = hierarchy
         self.config = config or CoreConfig()
@@ -140,12 +145,13 @@ class Core:
         self._inflight_fences = 0
         self._last_refreshed_iline = -1
         self._last_refreshed_ipage = -1
-        self._fetch_pc = program.code_base
+        self._fetch_pc = program.code_base if start_pc is None else start_pc
         self._fetch_stall_until = 0
         self._fetch_halted = False
         self._last_fetch_line: Optional[int] = None
         self._next_seq = 0
         self._halted_reason = ""
+        self._next_pc: Optional[int] = None
         self._fault_events: List[FaultEvent] = []
         self._last_commit_cycle = 0
         self._committed = 0
@@ -203,6 +209,7 @@ class Core:
             halted_reason=self._halted_reason,
             fault_events=list(self._fault_events),
             counters=counters,
+            next_pc=self._next_pc,
         )
 
     # (registry counter name, batched int attribute) — registration
@@ -306,6 +313,14 @@ class Core:
             self._halt("halt")
         elif (self._max_instructions is not None
               and self._committed >= self._max_instructions):
+            # The budget stop is artificial: record where the next
+            # instruction would have retired so a checkpointed run can
+            # resume exactly here (the budget _halt squashes everything
+            # in flight, so architectural state is the committed state).
+            self._next_pc = (uop.actual_target
+                             if uop.actual_taken
+                             and uop.actual_target is not None
+                             else uop.pc + INSTRUCTION_BYTES)
             self._halt("budget")
 
     def _refresh_recency(self, uop: DynUop) -> None:

@@ -1,0 +1,37 @@
+"""Checkpointed, SimPoint-style sampled simulation.
+
+``repro.sample`` turns one long program into an embarrassingly parallel
+sweep of independent window jobs:
+
+* :mod:`repro.sample.checkpoint` — frozen architectural state values
+  with stable digests; dump on one backend, restore on the other.
+* :mod:`repro.sample.plan` — the declarative :class:`SamplePlan`
+  (interval / warmup / windows / window / seed) plus the fast-forward
+  scan that freezes checkpoints at slice boundaries.
+* :mod:`repro.sample.driver` — per-window ``sample`` jobs, the worker
+  entry point, and the stitcher producing whole-program IPC/leakage
+  estimates with error bars.
+
+The public surface is :meth:`repro.api.session.Session.sample` and the
+``repro sample`` CLI command.
+"""
+
+from repro.sample.checkpoint import CHECKPOINT_SCHEMA_VERSION, Checkpoint
+from repro.sample.driver import (SampleReport, WindowMeasurement,
+                                 run_sample, run_sample_job, sample_job,
+                                 sample_jobs, stitch_windows)
+from repro.sample.plan import SamplePlan, scan_checkpoints
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Checkpoint",
+    "SamplePlan",
+    "SampleReport",
+    "WindowMeasurement",
+    "run_sample",
+    "run_sample_job",
+    "sample_job",
+    "sample_jobs",
+    "scan_checkpoints",
+    "stitch_windows",
+]

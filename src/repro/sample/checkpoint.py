@@ -1,0 +1,268 @@
+"""Architectural checkpoints: freeze committed machine state, resume later.
+
+A :class:`Checkpoint` is the value at the heart of sampled simulation
+(SimPoint-style): the fast backend streams through a long program,
+freezes the committed architectural state at interval boundaries, and a
+detailed (or fast) machine later *restores* any checkpoint and measures
+just the window that follows it.  Because both backends retire the same
+architectural state instruction-for-instruction (the PR 5/6 differential
+harness holds them to it), a checkpoint taken on one backend restores
+bit-exactly onto the other.
+
+Contract:
+
+* **Committed state only.**  Registers, memory image, page mappings,
+  fault/retire counters, and the resume PC.  In-flight speculative state
+  never survives a budget stop (the core squashes it), so it never needs
+  to be captured.
+* **Warm micro-architectural state is optional.**  Predictor counters,
+  BTB targets, TLB and cache contents make a restored machine *warm* —
+  closer to the state a straight-line run would have — but do not affect
+  architectural results.  ``warm=False`` drops them for smaller values.
+* **Stable identity.**  :meth:`Checkpoint.digest` hashes the canonical
+  JSON form (the :class:`~repro.spec.MachineSpec` idiom), so equal
+  checkpoints hash identically across processes and platforms.
+* **Pickle-safe.**  Checkpoints cross ``ProcessPoolExecutor`` process
+  boundaries; everything stored is plain ints/tuples/dicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, SampleError
+from repro.isa.registers import NUM_REGISTERS
+from repro.memory.paging import PagePermissions, Translation
+
+CHECKPOINT_SCHEMA_VERSION = 1
+
+# Cache levels / TLBs captured by a warm checkpoint, in a fixed order so
+# the serialized form (and therefore the digest) is deterministic.
+_CACHE_LEVELS = ("l1i", "l1d", "l2", "l3")
+_TLBS = ("itlb", "dtlb")
+
+
+def _permission_bits(perms: PagePermissions) -> int:
+    return (int(perms.readable)
+            | int(perms.writable) << 1
+            | int(perms.executable) << 2
+            | int(perms.supervisor_only) << 3)
+
+
+def _permissions_from_bits(bits: int) -> PagePermissions:
+    return PagePermissions(readable=bool(bits & 1),
+                           writable=bool(bits & 2),
+                           executable=bool(bits & 4),
+                           supervisor_only=bool(bits & 8))
+
+
+@dataclasses.dataclass(frozen=True)
+class Checkpoint:
+    """Committed architectural state at one point of one program's run.
+
+    Attributes:
+        instructions: committed instructions when the checkpoint was taken
+            (0 for the synthetic start-of-program checkpoint).
+        next_pc: architectural PC of the next instruction to retire.
+        registers: the 16 architectural register values.
+        memory: sorted ``(word_index, value)`` pairs of the physical
+            memory image (word index = ``paddr >> 3``).
+        written: sorted ``(word_index, byte_mask)`` pairs preserving the
+            byte-exact footprint accounting.
+        pages: sorted ``(vpn, ppn, permission_bits)`` page mappings.
+        faults: architectural faults retired so far.
+        warm: optional micro-architectural warm state (predictor/BTB/TLB/
+            cache contents); ``None`` for architectural-only checkpoints.
+    """
+
+    instructions: int
+    next_pc: int
+    registers: Tuple[int, ...]
+    memory: Tuple[Tuple[int, int], ...]
+    written: Tuple[Tuple[int, int], ...]
+    pages: Tuple[Tuple[int, int, int], ...]
+    faults: int = 0
+    warm: Optional[Dict[str, Any]] = dataclasses.field(
+        default=None, hash=False)
+
+    def __post_init__(self) -> None:
+        if len(self.registers) != NUM_REGISTERS:
+            raise ConfigError(
+                f"checkpoint has {len(self.registers)} registers, "
+                f"the ISA has {NUM_REGISTERS}")
+        if self.instructions < 0 or self.faults < 0:
+            raise ConfigError("checkpoint counters must be >= 0")
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def capture(cls, machine, *, instructions: int, next_pc: int,
+                registers: Tuple[int, ...], faults: int = 0,
+                warm: bool = True) -> "Checkpoint":
+        """Freeze ``machine``'s committed state.
+
+        ``next_pc`` and ``registers`` come from the budget-stopped
+        :class:`~repro.pipeline.core.RunResult` (the machine itself holds
+        no architectural register file between runs); memory, page table
+        and warm structures are read off the machine.
+        """
+        words, written = machine.hierarchy.memory.snapshot()
+        pages = tuple(
+            (t.vpn, t.ppn, _permission_bits(t.permissions))
+            for t in machine.page_table.snapshot())
+        return cls(
+            instructions=instructions,
+            next_pc=next_pc,
+            registers=tuple(registers),
+            memory=tuple(sorted(words.items())),
+            written=tuple(sorted(written.items())),
+            pages=pages,
+            faults=faults,
+            warm=cls._capture_warm(machine) if warm else None,
+        )
+
+    @classmethod
+    def initial(cls, machine, program) -> "Checkpoint":
+        """The synthetic checkpoint *before* the first instruction.
+
+        Taken after workload setup (memory image applied, pages mapped)
+        but before execution: zero registers, zero counters, resume at
+        the program start.  Cold micro-architecture by definition.
+        """
+        words, written = machine.hierarchy.memory.snapshot()
+        pages = tuple(
+            (t.vpn, t.ppn, _permission_bits(t.permissions))
+            for t in machine.page_table.snapshot())
+        return cls(
+            instructions=0,
+            next_pc=program.code_base,
+            registers=(0,) * NUM_REGISTERS,
+            memory=tuple(sorted(words.items())),
+            written=tuple(sorted(written.items())),
+            pages=pages,
+            faults=0,
+            warm=None,
+        )
+
+    @staticmethod
+    def _capture_warm(machine) -> Dict[str, Any]:
+        warm: Dict[str, Any] = {}
+        predictor = machine.predictor
+        if hasattr(predictor, "snapshot"):
+            warm["predictor"] = predictor.snapshot()
+        warm["btb"] = sorted(machine.btb.snapshot().items())
+        warm["tlbs"] = {
+            name: [(t.vpn, t.ppn, _permission_bits(t.permissions))
+                   for t in getattr(machine.hierarchy, name).snapshot()]
+            for name in _TLBS
+        }
+        # Caches are stored sparsely: only non-empty sets, as
+        # [set_index, [line addresses LRU-first]] pairs.
+        warm["caches"] = {
+            name: [[index, list(lines)]
+                   for index, lines
+                   in enumerate(getattr(machine.hierarchy, name).snapshot())
+                   if lines]
+            for name in _CACHE_LEVELS
+        }
+        return warm
+
+    # ------------------------------------------------------------------
+    # restore
+    # ------------------------------------------------------------------
+
+    def apply(self, machine) -> None:
+        """Load this checkpoint onto ``machine`` (built to the same spec).
+
+        After this call ``machine.run(program, start_pc=ckpt.next_pc,
+        initial_registers=dict(enumerate(ckpt.registers)))`` continues
+        exactly where the checkpointed run stopped, on either backend.
+        """
+        for vpn, ppn, bits in self.pages:
+            machine.page_table.map_page(vpn, ppn, _permissions_from_bits(bits))
+        machine.hierarchy.memory.restore(dict(self.memory),
+                                         dict(self.written))
+        if self.warm is not None:
+            self._apply_warm(machine)
+
+    def _apply_warm(self, machine) -> None:
+        warm = self.warm
+        predictor_state = warm.get("predictor")
+        if predictor_state is not None and hasattr(machine.predictor,
+                                                   "restore"):
+            machine.predictor.restore(predictor_state)
+        machine.btb.restore(dict(warm.get("btb", ())))
+        for name, entries in warm.get("tlbs", {}).items():
+            if name not in _TLBS:
+                raise SampleError(f"unknown TLB in checkpoint: {name!r}")
+            getattr(machine.hierarchy, name).restore(tuple(
+                Translation(vpn, ppn, _permissions_from_bits(bits))
+                for vpn, ppn, bits in entries))
+        for name, sparse_sets in warm.get("caches", {}).items():
+            if name not in _CACHE_LEVELS:
+                raise SampleError(f"unknown cache in checkpoint: {name!r}")
+            cache = getattr(machine.hierarchy, name)
+            dense: List[Tuple[int, ...]] = [()] * cache.config.num_sets
+            for index, lines in sparse_sets:
+                dense[index] = tuple(lines)
+            cache.restore(dense)
+
+    # ------------------------------------------------------------------
+    # serialization / identity
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """This checkpoint as nested JSON-representable primitives."""
+        return {
+            "checkpoint_schema": CHECKPOINT_SCHEMA_VERSION,
+            "instructions": self.instructions,
+            "next_pc": self.next_pc,
+            "registers": list(self.registers),
+            "memory": [list(pair) for pair in self.memory],
+            "written": [list(pair) for pair in self.written],
+            "pages": [list(entry) for entry in self.pages],
+            "faults": self.faults,
+            "warm": self.warm,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Checkpoint":
+        schema = payload.get("checkpoint_schema")
+        if schema != CHECKPOINT_SCHEMA_VERSION:
+            raise ConfigError(
+                f"unsupported checkpoint schema {schema!r} "
+                f"(this build reads v{CHECKPOINT_SCHEMA_VERSION})")
+        return cls(
+            instructions=payload["instructions"],
+            next_pc=payload["next_pc"],
+            registers=tuple(payload["registers"]),
+            memory=tuple((i, v) for i, v in payload["memory"]),
+            written=tuple((i, m) for i, m in payload["written"]),
+            pages=tuple((v, p, b) for v, p, b in payload["pages"]),
+            faults=payload.get("faults", 0),
+            warm=payload.get("warm"),
+        )
+
+    def digest(self) -> str:
+        """Stable content hash (hex SHA-256) of the canonical JSON form.
+
+        Identical across processes, interpreter restarts and platforms
+        for equal checkpoints — the property the sampling cache relies on.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def short_digest(self) -> str:
+        """The first 12 hex chars of :meth:`digest` (display use)."""
+        return self.digest()[:12]
+
+    def describe(self) -> str:
+        warm = "warm" if self.warm is not None else "cold"
+        return (f"checkpoint@{self.instructions} pc={self.next_pc:#x} "
+                f"{warm} [{self.short_digest()}]")

@@ -9,6 +9,8 @@ vocabulary the CLI and :class:`~repro.api.session.Session` use::
     {"kind": "verify",   "count": 5, "seed": 0, "profile": "mixed"}
     {"kind": "sweep",    "benchmarks": ["mcf"], "policies": ["wfc"],
      "variants": {"rob96": {"core.rob_entries": 96}}}
+    {"kind": "sample",   "target": "mcf", "instructions": 1000000,
+     "interval": 50000, "windows": 8}
 
 Common optional fields on every kind: ``backend`` (execution backend
 name), ``preset`` (a registered :class:`~repro.spec.MachineSpec`) plus
@@ -41,7 +43,8 @@ from repro.workloads import suite_names
 # SCHEMA_VERSION, which namespaces the store).
 PROTOCOL_VERSION = 1
 
-SUBMIT_KINDS = ("attack", "matrix", "workload", "verify", "sweep")
+SUBMIT_KINDS = ("attack", "matrix", "workload", "verify", "sweep",
+                "sample")
 
 # Terminal and non-terminal job states the service reports.
 QUEUED = "queued"
@@ -220,12 +223,44 @@ def _build_sweep(payload: Mapping[str, Any]) -> List[SimJob]:
     return sweep.jobs()
 
 
+def _build_sample(payload: Mapping[str, Any]) -> List[SimJob]:
+    from repro.sample.driver import sample_jobs
+    from repro.sample.plan import SamplePlan
+
+    target = _str_field(payload, "target")
+    if target not in suite_names():
+        raise ProtocolError(
+            f"unknown benchmark {target!r}; choose from {suite_names()}")
+    defaults = SamplePlan()
+    plan = SamplePlan(
+        interval=_int_field(payload, "interval", defaults.interval),
+        warmup=_int_field(payload, "warmup", defaults.warmup, minimum=0),
+        windows=_int_field(payload, "windows", defaults.windows),
+        window=_int_field(payload, "window", defaults.window),
+        seed=_int_field(payload, "seed", 0, minimum=0),
+    )
+    total = _int_field(payload, "instructions", 1_000_000)
+    spec = _spec(payload)
+    backend = _str_field(payload, "backend", "cycle")
+    ff_backend = _str_field(payload, "ff_backend", "fast")
+    warm = payload.get("warm", True)
+    if not isinstance(warm, bool):
+        raise ProtocolError("'warm' must be a boolean")
+    return [job
+            for policy in _policies(payload,
+                                    default=[CommitPolicy.BASELINE])
+            for job in sample_jobs(target, policy, plan, total, spec=spec,
+                                   backend=backend, ff_backend=ff_backend,
+                                   warm=warm)]
+
+
 _BUILDERS = {
     "attack": _build_attack,
     "matrix": _build_matrix,
     "workload": _build_workload,
     "verify": _build_verify,
     "sweep": _build_sweep,
+    "sample": _build_sample,
 }
 
 

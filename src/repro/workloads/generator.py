@@ -166,10 +166,16 @@ class _BlockBodyEmitter:
         addr_reg = self._next_reg()
         data_reg = self._next_reg()
         self._b.alu("shr", _R_SCRATCH, _R_LCG, imm=shift)
+        # Stores stay off the chase slots: slots sit at multiples of the
+        # chase stride (a power of two >= 16), so a 16-aligned base plus
+        # a fixed +8 displacement can never land on one.  Without this,
+        # a store eventually overwrites a chase pointer and the chase
+        # load walks off the map — which capped every chasing workload
+        # at a few thousand instructions.
         self._b.alu("and", _R_SCRATCH, _R_SCRATCH,
-                    imm=self._address_mask() & ~7)
+                    imm=self._address_mask() & ~15)
         self._b.add(addr_reg, _R_DATA_BASE, _R_SCRATCH)
-        self._b.store(addr_reg, data_reg, 0)
+        self._b.store(addr_reg, data_reg, 8)
         return 4
 
     def _emit_branch(self) -> int:
@@ -331,8 +337,11 @@ def _generate_program(profile: WorkloadProfile,
 def _build_chase_cycle(rng: np.random.Generator, data_base: int,
                        ws_bytes: int) -> List[Tuple[int, int]]:
     """A random single-cycle permutation of chase slots across the
-    working set; slot 0 (the chase entry point) is included."""
-    entries = min(_MAX_CHASE_ENTRIES, ws_bytes // 8)
+    working set; slot 0 (the chase entry point) is included.
+
+    Slots are kept at least 16 bytes apart so the store emitter's
+    16-aligned+8 addresses can never overwrite a chase pointer."""
+    entries = min(_MAX_CHASE_ENTRIES, ws_bytes // 16)
     stride = ws_bytes // entries
     slots = [data_base + i * stride for i in range(entries)]
     order = list(rng.permutation(entries))

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.analysis.experiment import AVERAGE, ExperimentRunner
+from repro.analysis.experiment import (AVERAGE, ExperimentRunner,
+                                       FigureRunner)
 from repro.analysis.report import (render_figure_series, render_ipc_figure,
                                    render_sizing_figure, render_two_series)
 from repro.core.policy import CommitPolicy
@@ -12,8 +13,8 @@ from repro.core.policy import CommitPolicy
 def runner():
     # Two small benchmarks with a modest budget keep the suite fast while
     # still exercising every figure pipeline end to end.
-    return ExperimentRunner(benchmarks=["namd", "povray"],
-                            instructions=3000)
+    return FigureRunner(benchmarks=["namd", "povray"],
+                        instructions=3000)
 
 
 class TestRunnerCaching:
@@ -21,6 +22,14 @@ class TestRunnerCaching:
         first = runner.run("namd", CommitPolicy.BASELINE)
         second = runner.run("namd", CommitPolicy.BASELINE)
         assert first is second
+
+
+class TestDeprecatedAlias:
+    def test_experiment_runner_shim_warns_and_constructs(self):
+        with pytest.warns(DeprecationWarning, match="FigureRunner"):
+            runner = ExperimentRunner(benchmarks=["namd"],
+                                      instructions=500)
+        assert isinstance(runner, FigureRunner)
 
 
 class TestFigureSeries:

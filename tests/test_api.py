@@ -189,12 +189,13 @@ class TestScenario:
         assert len({first, twin}) == 1
 
 
-class TestSchemaV5:
+class TestSchemaV6:
     def test_schema_bumped(self):
-        # v5: the execution backend joined the job spec (params carries
-        # a ``backend`` key), so v4 cycle-core results are not served
-        # for backend-tagged jobs.
-        assert SCHEMA_VERSION == 5
+        # v6: the sample kind joined the job vocabulary, RunResult
+        # carries a resume PC, and the workload generator's store
+        # addressing changed — v5 results describe different dynamic
+        # instruction streams and must not be served.
+        assert SCHEMA_VERSION == 6
 
     def test_spec_is_kind_uniform(self):
         # v1 special-cased a per-kind ``secret`` column; v2 carries one
@@ -339,8 +340,10 @@ class TestAttackJsonCli:
     def test_schema(self, capsys):
         assert main(["attack", "meltdown", "--format", "json",
                      "--no-cache"]) == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == SCHEMA_VERSION
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema_version"] == SCHEMA_VERSION
+        assert envelope["command"] == "attack"
+        payload = envelope["payload"]
         assert payload["failures"] == 0
         assert [r["policy"] for r in payload["results"]] == \
             ["baseline", "wfb", "wfc"]
@@ -359,9 +362,9 @@ class TestAttackJsonCli:
         args = ["attack", "spectre_v1", "--policy", "wfc", "--jobs", "2",
                 "--cache-dir", str(tmp_path), "--format", "json"]
         assert main(args) == 0
-        first = json.loads(capsys.readouterr().out)
+        first = json.loads(capsys.readouterr().out)["payload"]
         assert [r["cached"] for r in first["results"]] == [False]
         assert main(args) == 0          # second run: served from cache
-        second = json.loads(capsys.readouterr().out)
+        second = json.loads(capsys.readouterr().out)["payload"]
         assert [r["cached"] for r in second["results"]] == [True]
         assert second["results"][0]["closed"]

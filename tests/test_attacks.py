@@ -7,6 +7,7 @@ and asserts the paper's reported outcome for that (attack, policy) cell.
 import pytest
 
 from repro_testlib import POLICIES
+from repro.api import Session
 from repro.attacks import (run_attack_by_name, run_dtlb_variant,
                            run_icache_variant, run_itlb_variant,
                            run_meltdown, run_spectre_v1, run_spectre_v2,
@@ -146,18 +147,24 @@ class TestRunner:
             run_attack_by_name("rowhammer", BASELINE)
 
     def test_matrix_subset(self):
-        matrix = security_matrix(attacks=["spectre_v1"],
-                                 policies=[BASELINE, WFC])
+        matrix = Session(cache=False).matrix(attacks=["spectre_v1"],
+                                             policies=[BASELINE, WFC])
         assert matrix["spectre_v1"]["baseline"].success
         assert matrix["spectre_v1"]["wfc"].closed
 
     def test_render_matrix(self):
-        matrix = security_matrix(attacks=["spectre_v1"],
-                                 policies=[WFC])
+        matrix = Session(cache=False).matrix(attacks=["spectre_v1"],
+                                             policies=[WFC])
         text = render_matrix(matrix)
         assert "spectre_v1" in text
         assert "closed" in text
 
     def test_unknown_attack_in_matrix_rejected(self):
         with pytest.raises(ConfigError):
-            security_matrix(attacks=["nope"])
+            Session(cache=False).matrix(attacks=["nope"])
+
+    def test_security_matrix_shim_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="Session.matrix"):
+            matrix = security_matrix(attacks=["spectre_v1"],
+                                     policies=[WFC])
+        assert matrix["spectre_v1"]["wfc"].closed

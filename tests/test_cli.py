@@ -100,7 +100,7 @@ class TestCommands:
         assert main(["verify", "--count", "1", "--seed", "2",
                      "--policy", "baseline", "--no-cache",
                      "--format", "json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)["payload"]
         assert payload["failures"] == 0
         assert payload["verdicts"][0]["seed"] == 2
 

@@ -100,6 +100,17 @@ class TestServeSession:
         assert "sources=['store'] executed=0" in out
 
 
+class TestSampledRun:
+    def test_compares_sampled_to_full(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv",
+                            ["sampled_run.py", "mcf", "100000"])
+        load_example("sampled_run").main()
+        out = capsys.readouterr().out
+        assert "4/4 windows measured" in out
+        assert "stitched IPC" in out
+        assert "error)" in out and "less wall-clock" in out
+
+
 @pytest.mark.slow
 class TestSecurityMatrixExample:
     def test_matrix_prints(self, capsys):

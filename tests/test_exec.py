@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.analysis.experiment import ExperimentRunner
+from repro.analysis.experiment import FigureRunner
 from repro.cli import main
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig, SizingMode
@@ -184,7 +184,7 @@ class TestParallelExecutor:
             ParallelExecutor(workers=0)
 
 
-class TestExperimentRunnerBatching:
+class TestFigureRunnerBatching:
     def test_figure_methods_batch_their_sweep(self):
         calls = []
 
@@ -193,9 +193,9 @@ class TestExperimentRunnerBatching:
                 calls.append(len(jobs))
                 return super().run(jobs)
 
-        runner = ExperimentRunner(benchmarks=["namd", "povray"],
-                                  instructions=BUDGET,
-                                  executor=RecordingExecutor())
+        runner = FigureRunner(benchmarks=["namd", "povray"],
+                              instructions=BUDGET,
+                              executor=RecordingExecutor())
         series = runner.normalized_ipc(CommitPolicy.WFC)
         assert set(series) == {"namd", "povray", "Average"}
         # Both policies x both benchmarks arrive as one 4-job batch,
@@ -235,7 +235,9 @@ class TestFiguresJson:
 
     def test_schema(self, tmp_path, capsys):
         assert self._figures(tmp_path) == 0
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["command"] == "figures"
+        payload = envelope["payload"]
         assert payload["benchmarks"] == ["namd"]
         assert set(payload["figures"]) == {"6", "7", "8", "9", "11", "12",
                                            "13", "14", "15", "16"}
@@ -248,10 +250,10 @@ class TestFiguresJson:
 
     def test_second_invocation_is_all_cache_hits(self, tmp_path, capsys):
         assert self._figures(tmp_path) == 0
-        first = json.loads(capsys.readouterr().out)
+        first = json.loads(capsys.readouterr().out)["payload"]
         assert first["cache"] == {"hits": 0, "misses": 3}
         assert self._figures(tmp_path) == 0
-        second = json.loads(capsys.readouterr().out)
+        second = json.loads(capsys.readouterr().out)["payload"]
         # One benchmark x three policies, all reused — zero re-simulations.
         assert second["cache"] == {"hits": 3, "misses": 0}
         assert second["figures"] == first["figures"]

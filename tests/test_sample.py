@@ -1,0 +1,267 @@
+"""Tests for repro.sample: checkpoints, plans, window jobs, stitching.
+
+The load-bearing properties of sampled simulation:
+
+* a checkpoint dumped on one backend restores bit-exactly on the other
+  (resumed execution equals straight-line execution);
+* checkpoints survive pickling across ``ProcessPoolExecutor`` process
+  boundaries with a stable digest;
+* window selection is deterministic and anchored at slice 0;
+* sample jobs are content-hashed like every other kind, so a repeated
+  sampled run is all cache hits.
+"""
+
+import dataclasses
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.api.session import Session
+from repro.core.policy import CommitPolicy
+from repro.errors import ConfigError
+from repro.exec import NullCache, SerialExecutor
+from repro.exec.job import SAMPLE
+from repro.machine import Machine
+from repro.sample import (CHECKPOINT_SCHEMA_VERSION, Checkpoint, SamplePlan,
+                          run_sample, sample_jobs, scan_checkpoints)
+from repro.sample.plan import resolve_workload
+from repro.serve.protocol import ProtocolError, build_jobs
+
+# Small slices: every simulation here exercises the checkpoint/stitch
+# machinery, not the micro-architecture.
+INTERVAL = 1_500
+TOTAL = 3_000
+PLAN = SamplePlan(interval=INTERVAL, warmup=200, windows=2, window=400)
+
+BACKENDS = ("cycle", "fast")
+
+
+def _end_state(machine, result, *, instructions, faults):
+    """Architectural end-of-run state as a cold checkpoint (for digests)."""
+    return Checkpoint.capture(machine, instructions=instructions,
+                              next_pc=result.next_pc,
+                              registers=result.registers,
+                              faults=faults, warm=False)
+
+
+def _straight_line(workload, budget, backend="fast"):
+    """Run ``budget`` instructions from scratch; return the end state."""
+    machine = Machine.from_spec(None, policy=CommitPolicy.BASELINE,
+                                backend=backend)
+    workload.apply_memory_image(machine)
+    result = machine.run(workload.program, max_instructions=budget)
+    assert result.halted_reason == "budget"
+    return _end_state(machine, result, instructions=budget,
+                      faults=len(result.fault_events))
+
+
+def _resume(workload, checkpoint, budget, backend):
+    """Restore ``checkpoint`` and run ``budget`` more instructions."""
+    machine = Machine.from_spec(None, policy=CommitPolicy.BASELINE,
+                                backend=backend)
+    checkpoint.apply(machine)
+    result = machine.run(workload.program, max_instructions=budget,
+                         start_pc=checkpoint.next_pc,
+                         initial_registers=dict(
+                             enumerate(checkpoint.registers)))
+    assert result.halted_reason == "budget"
+    return _end_state(machine, result,
+                      instructions=checkpoint.instructions + budget,
+                      faults=checkpoint.faults + len(result.fault_events))
+
+
+def _resume_in_child(checkpoint, benchmark, budget, backend):
+    """ProcessPool entry: restore a pickled checkpoint in a fresh process."""
+    workload = resolve_workload(benchmark)
+    end = _resume(workload, checkpoint, budget, backend)
+    return checkpoint.digest(), end.digest()
+
+
+class TestSamplePlan:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SamplePlan(interval=0)
+        with pytest.raises(ConfigError):
+            SamplePlan(windows=0)
+        with pytest.raises(ConfigError):
+            SamplePlan(interval=1_000, warmup=600, windows=2, window=500)
+
+    def test_full_coverage_when_windows_cover_every_slice(self):
+        plan = SamplePlan(interval=1_000, warmup=100, windows=8, window=200)
+        assert plan.select_windows(3_000) == (0, 1, 2)
+
+    def test_selection_is_anchored_and_stratified(self):
+        plan = SamplePlan(interval=1_000, warmup=100, windows=4,
+                          window=200, seed=7)
+        chosen = plan.select_windows(20_000)
+        assert len(chosen) == 4
+        assert chosen[0] == 0
+        assert list(chosen) == sorted(set(chosen))
+        assert all(1 <= index < 20 for index in chosen[1:])
+        # One pick per stratum of the remaining 19 slices.
+        rest, strata = 19, 3
+        for stratum, index in enumerate(chosen[1:]):
+            assert 1 + stratum * rest // strata <= index
+            assert index < 1 + (stratum + 1) * rest // strata
+
+    def test_selection_is_deterministic_per_seed(self):
+        plan = SamplePlan(interval=1_000, warmup=100, windows=3,
+                          window=200, seed=3)
+        assert plan.select_windows(30_000) == plan.select_windows(30_000)
+        other = dataclasses.replace(plan, seed=4)
+        assert other.select_windows(30_000) != plan.select_windows(30_000)
+
+    def test_anchor_window_spans_its_whole_slice(self):
+        assert PLAN.window_span(0, TOTAL) == (0, INTERVAL)
+        assert PLAN.window_span(0, INTERVAL // 2) == (0, INTERVAL // 2)
+        assert PLAN.window_span(1, TOTAL) == (PLAN.warmup, PLAN.window)
+
+    def test_params_round_trip(self):
+        assert SamplePlan.from_params(PLAN.to_params()) == PLAN
+
+
+class TestCheckpointValue:
+    @pytest.fixture(scope="class")
+    def checkpoint(self):
+        return scan_checkpoints("namd", PLAN, [1], warm=True)[1]
+
+    def test_dict_round_trip_preserves_digest(self, checkpoint):
+        wire = json.loads(json.dumps(checkpoint.to_dict()))
+        assert wire["checkpoint_schema"] == CHECKPOINT_SCHEMA_VERSION
+        restored = Checkpoint.from_dict(wire)
+        assert restored.digest() == checkpoint.digest()
+        assert restored.next_pc == checkpoint.next_pc
+        assert restored.registers == checkpoint.registers
+
+    def test_unknown_schema_rejected(self, checkpoint):
+        wire = checkpoint.to_dict()
+        wire["checkpoint_schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigError):
+            Checkpoint.from_dict(wire)
+
+    def test_digest_tracks_content(self, checkpoint):
+        registers = list(checkpoint.registers)
+        registers[3] ^= 1
+        twin = dataclasses.replace(checkpoint,
+                                   registers=tuple(registers))
+        assert twin.digest() != checkpoint.digest()
+
+    def test_cold_scan_drops_warm_state(self):
+        cold = scan_checkpoints("namd", PLAN, [1], warm=False)[1]
+        assert cold.warm is None
+        warm = scan_checkpoints("namd", PLAN, [1], warm=True)[1]
+        assert warm.warm is not None
+        # Warm state is micro-architectural only: same committed state.
+        assert dataclasses.replace(warm, warm=None).digest() == cold.digest()
+
+    def test_initial_checkpoint_is_start_of_program(self):
+        workload = resolve_workload("namd")
+        checkpoint = scan_checkpoints(workload, PLAN, [0])[0]
+        assert checkpoint.instructions == 0
+        assert checkpoint.next_pc == workload.program.code_base
+        assert checkpoint.warm is None
+
+
+class TestCheckpointRestore:
+    """Dump on the fast backend, restore anywhere, equal straight-line."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return resolve_workload("namd")
+
+    @pytest.fixture(scope="class")
+    def checkpoint(self, workload):
+        return scan_checkpoints(workload, PLAN, [1], warm=True)[1]
+
+    @pytest.fixture(scope="class")
+    def straight(self, workload):
+        return _straight_line(workload, 2 * INTERVAL)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_resumed_run_equals_straight_line(self, workload, checkpoint,
+                                              straight, backend):
+        resumed = _resume(workload, checkpoint, INTERVAL, backend)
+        assert resumed.digest() == straight.digest()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_checkpoint_survives_process_pool(self, workload, checkpoint,
+                                              straight, backend):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            child_digest, child_end = pool.submit(
+                _resume_in_child, checkpoint, "namd", INTERVAL,
+                backend).result()
+        # Digest is stable across process boundaries...
+        assert child_digest == checkpoint.digest()
+        # ...and the pickled checkpoint resumes to the same state.
+        assert child_end == straight.digest()
+
+
+class TestSampledRun:
+    def test_job_fanout_is_deterministic(self):
+        first = sample_jobs("namd", CommitPolicy.WFC, PLAN, TOTAL)
+        second = sample_jobs("namd", CommitPolicy.WFC, PLAN, TOTAL)
+        assert [job.key() for job in first] == [job.key() for job in second]
+        assert all(job.kind == SAMPLE for job in first)
+        # Jobs carry plan coordinates, never checkpoint blobs.
+        assert all("window_index" in job.params for job in first)
+        assert all(len(json.dumps(job.params)) < 1_000 for job in first)
+
+    def test_stitched_report_sanity(self):
+        report = run_sample(SerialExecutor(cache=NullCache()), "namd",
+                            CommitPolicy.BASELINE, plan=PLAN,
+                            total_instructions=TOTAL)
+        assert report.ok
+        assert report.num_intervals == TOTAL // INTERVAL
+        assert report.measured_windows == len(report.windows) == 2
+        assert report.windows[0].index == 0
+        # Anchor window measures its whole slice.
+        assert report.windows[0].instructions == INTERVAL
+        assert report.stitched_ipc > 0
+        assert 0 < report.coverage <= 1
+        assert report.estimated_counters["cycles"] == report.stitched_cycles
+        payload = report.to_dict()
+        assert payload["stitched_ipc"] == report.stitched_ipc
+        assert len(payload["windows"]) == 2
+
+    def test_repeated_run_is_all_cache_hits(self, tmp_path):
+        session = Session(cache=True, cache_dir=str(tmp_path))
+        kwargs = dict(policy=CommitPolicy.BASELINE, instructions=TOTAL,
+                      interval=INTERVAL, warmup=PLAN.warmup,
+                      windows=PLAN.windows, window=PLAN.window)
+        first = session.sample("namd", **kwargs)
+        assert first.cached_windows == 0
+        assert session.cache_stats["hits"] == 0
+
+        second = session.sample("namd", **kwargs)
+        assert second.cached_windows == len(second.windows)
+        assert all(w.from_cache for w in second.windows)
+        # Every job was answered by the store: zero re-executions.
+        assert session.cache_stats["hits"] == len(second.windows)
+        assert second.stitched_ipc == first.stitched_ipc
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_windows_measure_on_either_backend(self, backend):
+        report = run_sample(SerialExecutor(cache=NullCache()), "namd",
+                            CommitPolicy.BASELINE, plan=PLAN,
+                            total_instructions=TOTAL, backend=backend)
+        assert report.ok
+        assert report.backend == backend
+
+
+class TestServeSampleKind:
+    def test_build_jobs_lowers_sample_submissions(self):
+        jobs = build_jobs({"kind": "sample", "target": "namd",
+                           "interval": INTERVAL, "warmup": PLAN.warmup,
+                           "windows": PLAN.windows, "window": PLAN.window,
+                           "instructions": TOTAL})
+        assert len(jobs) == PLAN.windows
+        assert all(job.kind == SAMPLE for job in jobs)
+        assert all(job.target == "namd" for job in jobs)
+
+    def test_bad_sample_submissions_rejected(self):
+        with pytest.raises(ProtocolError):
+            build_jobs({"kind": "sample", "target": "no-such-benchmark"})
+        with pytest.raises(ProtocolError):
+            build_jobs({"kind": "sample", "target": "namd",
+                        "warm": "yes"})

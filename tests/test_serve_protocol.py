@@ -127,7 +127,7 @@ class TestMalformedPayloads:
 
     def test_submit_kinds_are_stable(self):
         assert SUBMIT_KINDS == ("attack", "matrix", "workload", "verify",
-                                "sweep")
+                                "sweep", "sample")
 
 
 class TestJobSummary:

@@ -348,19 +348,19 @@ class TestServeCli:
         rc = main(["submit", payload, "--url", server.url,
                    "--wait", "60", "--format", "json"])
         assert rc == 0
-        batch = json.loads(capsys.readouterr().out)
+        batch = json.loads(capsys.readouterr().out)["payload"]
         assert batch["completed"] == batch["total"] == 1
         key = batch["jobs"][0]["key"]
 
         rc = main(["status", key, "--url", server.url,
                    "--format", "json"])
         assert rc == 0
-        job = json.loads(capsys.readouterr().out)
+        job = json.loads(capsys.readouterr().out)["payload"]
         assert job["status"] == "done"
 
         rc = main(["status", "--url", server.url, "--format", "json"])
         assert rc == 0
-        stats = json.loads(capsys.readouterr().out)
+        stats = json.loads(capsys.readouterr().out)["payload"]
         assert stats["jobs"]["known"] == 1
 
     def test_submit_from_file(self, server, tmp_path, capsys):

@@ -487,15 +487,16 @@ class TestSpecsCli:
 
     def test_list_json(self, capsys):
         assert main(["specs", "--format", "json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == SCHEMA_VERSION
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema_version"] == SCHEMA_VERSION
+        payload = envelope["payload"]
         rows = {row["name"]: row for row in payload["specs"]}
         assert rows[DEFAULT_SPEC]["digest"] == MachineSpec().digest()
         assert rows["little-core"]["description"]
 
     def test_show_json_round_trips(self, capsys):
         assert main(["specs", "little-core", "--format", "json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)["payload"]
         rebuilt = MachineSpec.from_dict(payload["spec"])
         assert rebuilt == get_spec("little-core")
         assert payload["digest"] == rebuilt.digest()
@@ -546,4 +547,4 @@ class TestRunCli:
     def test_matrix_accepts_spec_flags(self, capsys):
         assert main(["matrix", "--format", "json", "--no-cache"]) == 0
         baseline_payload = json.loads(capsys.readouterr().out)
-        assert baseline_payload["schema"] == SCHEMA_VERSION
+        assert baseline_payload["schema_version"] == SCHEMA_VERSION

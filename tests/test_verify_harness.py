@@ -198,14 +198,14 @@ class TestAcceptance:
     def test_verify_25_seeds_all_policies(self, capsys):
         assert main(["verify", "--count", "25", "--seed", "0",
                      "--format", "json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)["payload"]
         assert payload["cases"] == 25 * 3
         assert payload["failures"] == 0
         assert all(v["ok"] for v in payload["verdicts"])
         # Second run (cache-served) must emit the identical document.
         assert main(["verify", "--count", "25", "--seed", "0",
                      "--format", "json"]) == 0
-        again = json.loads(capsys.readouterr().out)
+        again = json.loads(capsys.readouterr().out)["payload"]
         assert again == payload
 
     def test_cli_reports_failures_in_exit_code(self, capsys, monkeypatch):
