@@ -10,9 +10,7 @@ The whole campaign is three lines against the unified API: a
 :class:`repro.api.session.Session` owns the executor and result cache,
 ``session.matrix()`` submits every (attack, policy) pair as one batch
 (the attack list derives from the registry), and ``render_matrix``
-prints the paper's table.  (The retired
-``repro.attacks.security_matrix()`` helper still wraps exactly this,
-but warns; it disappears next release.)
+prints the paper's table.
 
 Expected outcome (the paper's Tables III & IV):
 

@@ -1,11 +1,10 @@
 """Experiment orchestration and figure/table reproduction."""
 
-from repro.analysis.experiment import ExperimentRunner, FigureRunner
+from repro.analysis.experiment import FigureRunner
 from repro.analysis.report import (render_figure_series, render_ipc_figure,
                                    render_sizing_figure)
 
 __all__ = [
-    "ExperimentRunner",     # deprecated alias of FigureRunner
     "FigureRunner",
     "render_figure_series",
     "render_ipc_figure",

@@ -8,15 +8,10 @@ describes each (workload, policy) pair as a
 or ``multiprocessing``-parallel, optionally backed by the persistent
 on-disk result cache), and memoizes the resulting
 :class:`~repro.exec.job.SimResult` for the figure derivations.
-
-``ExperimentRunner`` is the class's retired name; the alias still
-constructs a :class:`FigureRunner` but warns, and disappears next
-release.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policy import CommitPolicy
@@ -198,23 +193,6 @@ class FigureRunner:
         """Figure 16 series: committed fraction of retired shadow entries."""
         return self._series(
             policy, lambda run: run.shadow_commit_rate(structure))
-
-
-class ExperimentRunner(FigureRunner):
-    """Deprecated name of :class:`FigureRunner` (one-release shim).
-
-    Constructs the same runner but emits a :class:`DeprecationWarning`;
-    migrate to :meth:`repro.api.session.Session.figures` /
-    :meth:`~repro.api.session.Session.experiment` (or
-    :class:`FigureRunner` directly) before the alias is removed.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
-            "ExperimentRunner is deprecated and will be removed; use "
-            "FigureRunner (or Session.figures / Session.experiment)",
-            DeprecationWarning, stacklevel=2)
-        super().__init__(*args, **kwargs)
 
 
 def _mean(series: Dict[str, float]) -> float:

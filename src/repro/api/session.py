@@ -1,7 +1,7 @@
 """The :class:`Session` facade: one object owning execution wiring.
 
 Every entry point used to hand-wire its own cache and executor (the CLI,
-:class:`~repro.analysis.experiment.ExperimentRunner`, the benchmark
+:class:`~repro.analysis.experiment.FigureRunner`, the benchmark
 harness, the examples) — and ``repro attack`` bypassed the exec layer
 entirely.  A session owns that wiring once::
 
@@ -10,10 +10,7 @@ entirely.  A session owns that wiring once::
     figures = session.figures(benchmarks=["mcf"])   # Figures 6-9, 11-16
     result = session.sweep(Sweep(...))              # ablation grids
     report = session.sample("mcf")                  # sampled simulation
-
-``security_matrix`` and ``ExperimentRunner`` are deprecated one-release
-shims over this API (use :meth:`Session.matrix` and
-:class:`~repro.analysis.experiment.FigureRunner`).
+    telem = session.telemetry()                     # trajectory store
 """
 
 from __future__ import annotations
@@ -253,6 +250,25 @@ class Session:
                           total_instructions=instructions, spec=spec,
                           backend=backend, ff_backend=ff_backend,
                           warm=warm)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def telemetry(self, db: Optional[str] = None):
+        """A :class:`~repro.telemetry.Telemetry` facade over the
+        longitudinal trajectory store.
+
+        ``db`` names the SQLite database (default
+        ``$REPRO_TELEMETRY_DB``, else ``telemetry.sqlite`` inside the
+        cache directory).  Ingest any artifact the repo emits, then
+        render the offline HTML dashboard::
+
+            telem = session.telemetry()
+            telem.ingest_file("BENCH_abc1234.json")
+            telem.render("dashboard.html")
+        """
+        from repro.telemetry import Telemetry
+
+        return Telemetry(db)
 
     # -- cache introspection -----------------------------------------------
 

@@ -27,7 +27,7 @@ package first.
 """
 
 from repro.attacks.runner import (AttackResult, expected_closed,
-                                  run_attack_by_name, security_matrix)
+                                  run_attack_by_name)
 # Import order below IS the registry order: the paper's Tables III/IV
 # row order (spectre_v1, spectre_v1_pp, spectre_v2, meltdown,
 # meltdown_spectre, icache, itlb, dtlb, transient).
@@ -65,5 +65,4 @@ __all__ = [
     "run_spectre_v1_prime_probe",
     "run_spectre_v2",
     "run_tsa",
-    "security_matrix",      # deprecated shim over Session.matrix
 ]

@@ -5,9 +5,8 @@ The attack catalogue itself lives in the component registry
 entry point with ``@register_attack``, carrying the paper's
 expected-closed metadata.  This module keeps the classic
 :class:`AttackResult` type, the job-spec worker entry point, the matrix
-renderer, and thin legacy wrappers (``security_matrix``,
-``ALL_ATTACKS``) over :class:`~repro.api.session.Session` and the
-registry.
+renderer, and the ``ALL_ATTACKS`` registry view.  Batch runs go through
+:meth:`repro.api.session.Session.matrix`.
 """
 
 from __future__ import annotations
@@ -113,38 +112,6 @@ def attack_result_from_sim(result: SimResult) -> AttackResult:
         leaked=result.leaked,
         details=dict(result.details),
     )
-
-
-def security_matrix(attacks: Optional[List[str]] = None,
-                    policies: Optional[List[CommitPolicy]] = None,
-                    secret: int = 42,
-                    executor=None,
-                    backend: str = "cycle"
-                    ) -> Dict[str, Dict[str, AttackResult]]:
-    """Run every (attack, policy) pair — Tables III and IV.
-
-    Deprecated (one-release shim): call
-    :meth:`repro.api.session.Session.matrix` instead, which owns the
-    executor/cache wiring this wrapper re-creates per call.  Pass
-    ``executor`` to reuse an existing executor/cache pair, otherwise the
-    pairs run serially without a cache (the historical default).
-    Returns ``{attack_name: {policy_value: AttackResult}}``.
-    """
-    import warnings
-
-    from repro.api.session import Session
-
-    warnings.warn(
-        "security_matrix is deprecated and will be removed; use "
-        "Session.matrix (repro.api.session)",
-        DeprecationWarning, stacklevel=2)
-
-    if executor is not None:
-        session = Session(executor=executor)
-    else:
-        session = Session(cache=False)
-    return session.matrix(attacks=attacks, policies=policies, secret=secret,
-                          backend=backend)
 
 
 def render_matrix(matrix: Dict[str, Dict[str, AttackResult]]) -> str:

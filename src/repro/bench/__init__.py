@@ -16,8 +16,11 @@ tracks simulator efficiency (simulated cycles per unit of interpreter
 work) rather than raw host speed.
 """
 
-from repro.bench.compare import (ComparisonReport, backend_speedups,
-                                 compare_payloads, render_speedups)
+from repro.bench.compare import (ComparisonReport,
+                                 annotate_calibration_drift,
+                                 backend_speedups, compare_payloads,
+                                 render_calibration_drift,
+                                 render_speedups)
 from repro.bench.harness import (BENCH_SCHEMA_VERSION, BenchHarness,
                                  BenchSpec, FULL_SPECS, QUICK_SPECS,
                                  payload_fingerprint, with_backend)
@@ -31,9 +34,11 @@ __all__ = [
     "ComparisonReport",
     "FULL_SPECS",
     "QUICK_SPECS",
+    "annotate_calibration_drift",
     "backend_speedups",
     "compare_payloads",
     "payload_fingerprint",
+    "render_calibration_drift",
     "render_sampled_rows",
     "render_service_rows",
     "render_speedups",

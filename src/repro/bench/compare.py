@@ -167,6 +167,60 @@ def backend_speedups(current: Dict[str, Any],
     return report
 
 
+def annotate_calibration_drift(current: Dict[str, Any],
+                               baseline: Optional[Dict[str, Any]],
+                               threshold: float = DEFAULT_THRESHOLD
+                               ) -> Dict[str, Any]:
+    """Flag host-calibration drift against the committed baseline.
+
+    ``normalized_score`` trends are only comparable across runs when
+    the calibration spin (kloops/sec) describes comparable hosts: a
+    drifted host moves every normalized score even though the simulator
+    did not change.  This annotates ``current`` *in place* — so the
+    flags land in the written ``BENCH_<rev>.json`` and ride into the
+    telemetry store — and returns a report for the CLI warning:
+
+    * ``current["calibration"]["drift_vs_baseline"]`` — signed fraction
+      (``current/baseline - 1``), plus ``drifted`` when ``abs`` exceeds
+      ``threshold``;
+    * each result row gains ``calibration_drift`` / a
+      ``calibration_drifted`` flag, marking its normalized score as
+      cross-run-comparable or not.
+    """
+    report: Dict[str, Any] = {"checked": False, "drifted": False,
+                              "threshold": threshold}
+    calibration = current.get("calibration") or {}
+    current_kloops = float(calibration.get("kloops_per_sec") or 0.0)
+    baseline_kloops = float(((baseline or {}).get("calibration") or {})
+                            .get("kloops_per_sec") or 0.0)
+    if not current_kloops or not baseline_kloops:
+        return report
+    drift = current_kloops / baseline_kloops - 1.0
+    drifted = abs(drift) > threshold
+    report.update(checked=True, drifted=drifted,
+                  drift=round(drift, 4),
+                  current_kloops_per_sec=current_kloops,
+                  baseline_kloops_per_sec=baseline_kloops)
+    calibration["drift_vs_baseline"] = round(drift, 4)
+    calibration["drifted"] = drifted
+    for row in current.get("results", []):
+        row["calibration_drift"] = round(drift, 4)
+        row["calibration_drifted"] = drifted
+    return report
+
+
+def render_calibration_drift(report: Dict[str, Any]) -> str:
+    """One warning line for an :func:`annotate_calibration_drift` report."""
+    if not report.get("checked"):
+        return "calibration drift: no baseline calibration to compare"
+    verdict = ("DRIFTED — normalized-score trends vs the baseline host "
+               "are suspect" if report["drifted"] else "ok")
+    return (f"calibration drift vs baseline: {report['drift']:+.1%} "
+            f"({report['current_kloops_per_sec']:,.0f} vs "
+            f"{report['baseline_kloops_per_sec']:,.0f} kloops/s, "
+            f"threshold {report['threshold']:.0%}): {verdict}")
+
+
 def render_speedups(report: Dict[str, Any]) -> str:
     """Human-readable lines for a :func:`backend_speedups` report."""
     lines = [f"backend speedup vs {report['reference']} "

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.analysis.experiment import (AVERAGE, ExperimentRunner,
-                                       FigureRunner)
+from repro.analysis.experiment import AVERAGE, FigureRunner
 from repro.analysis.report import (render_figure_series, render_ipc_figure,
                                    render_sizing_figure, render_two_series)
 from repro.core.policy import CommitPolicy
@@ -22,14 +21,6 @@ class TestRunnerCaching:
         first = runner.run("namd", CommitPolicy.BASELINE)
         second = runner.run("namd", CommitPolicy.BASELINE)
         assert first is second
-
-
-class TestDeprecatedAlias:
-    def test_experiment_runner_shim_warns_and_constructs(self):
-        with pytest.warns(DeprecationWarning, match="FigureRunner"):
-            runner = ExperimentRunner(benchmarks=["namd"],
-                                      instructions=500)
-        assert isinstance(runner, FigureRunner)
 
 
 class TestFigureSeries:

@@ -11,7 +11,7 @@ from repro.api import Session
 from repro.attacks import (run_attack_by_name, run_dtlb_variant,
                            run_icache_variant, run_itlb_variant,
                            run_meltdown, run_spectre_v1, run_spectre_v2,
-                           run_tsa, security_matrix)
+                           run_tsa)
 from repro.attacks.runner import render_matrix
 from repro.attacks.tsa import run_tsa_vulnerable
 from repro.errors import ConfigError
@@ -163,8 +163,3 @@ class TestRunner:
         with pytest.raises(ConfigError):
             Session(cache=False).matrix(attacks=["nope"])
 
-    def test_security_matrix_shim_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="Session.matrix"):
-            matrix = security_matrix(attacks=["spectre_v1"],
-                                     policies=[WFC])
-        assert matrix["spectre_v1"]["wfc"].closed

@@ -7,7 +7,9 @@ import pickle
 import pytest
 
 from repro.bench import (BENCH_SCHEMA_VERSION, BenchHarness, BenchSpec,
-                         QUICK_SPECS, compare_payloads, payload_fingerprint)
+                         QUICK_SPECS, annotate_calibration_drift,
+                         compare_payloads, payload_fingerprint,
+                         render_calibration_drift)
 from repro.bench.harness import dump_payload, load_payload
 from repro.core.policy import CommitPolicy
 from repro.exec.executor import ParallelExecutor, SerialExecutor
@@ -173,6 +175,52 @@ class TestComparator:
         payload = _payload([_row("a", 1.0)])
         with pytest.raises(ValueError):
             compare_payloads(payload, payload, threshold=0.0)
+
+
+def _calibrated(kloops, rows=None):
+    payload = _payload(rows or [_row("a", 10.0)])
+    payload["calibration"] = {"loops": 1000, "kloops_per_sec": kloops}
+    return payload
+
+
+class TestCalibrationDrift:
+    def test_within_threshold_not_flagged(self):
+        current = _calibrated(105.0)
+        report = annotate_calibration_drift(current, _calibrated(100.0))
+        assert report["checked"] and not report["drifted"]
+        assert current["calibration"]["drift_vs_baseline"] == \
+            pytest.approx(0.05)
+        assert current["results"][0]["calibration_drifted"] is False
+
+    def test_drift_beyond_threshold_flags_payload_and_rows(self):
+        current = _calibrated(125.0)
+        report = annotate_calibration_drift(current, _calibrated(100.0))
+        assert report["drifted"]
+        assert current["calibration"]["drifted"] is True
+        assert all(row["calibration_drifted"]
+                   for row in current["results"])
+        assert current["results"][0]["calibration_drift"] == \
+            pytest.approx(0.25)
+        assert "DRIFTED" in render_calibration_drift(report)
+
+    def test_slower_host_drifts_too(self):
+        report = annotate_calibration_drift(_calibrated(80.0),
+                                            _calibrated(100.0))
+        assert report["drifted"]
+        assert report["drift"] == pytest.approx(-0.2)
+
+    def test_no_baseline_is_unchecked(self):
+        current = _calibrated(100.0)
+        report = annotate_calibration_drift(current, None)
+        assert not report["checked"] and not report["drifted"]
+        assert "drift_vs_baseline" not in current["calibration"]
+        assert "no baseline" in render_calibration_drift(report)
+
+    def test_baseline_without_calibration_is_unchecked(self):
+        # Pre-calibration payloads (schema 0) must not divide by zero.
+        report = annotate_calibration_drift(
+            _calibrated(100.0), _payload([_row("a", 10.0)]))
+        assert not report["checked"]
 
 
 class TestSlotsPickling:
