@@ -32,6 +32,7 @@ class CycleBackend:
             config=machine.core_config,
             predictor=machine.predictor,
             btb=machine.btb,
+            rsb=machine.rsb,
             engine=machine.engine,
             privilege=privilege,
             fault_handler_pc=fault_handler_pc,

@@ -70,6 +70,7 @@ _COUNTER_KEYS = (
 _W_ALU, _W_LOADIMM, _W_LOAD, _W_STORE = 0, 1, 2, 3
 _W_BRANCH, _W_JMP, _W_JMPI, _W_CLFLUSH = 4, 5, 6, 7
 _W_STOP, _W_NOP = 8, 9
+_W_CALL, _W_RET = 10, 11
 
 _ALU_FN = {
     AluOp.ADD: lambda x, y: x + y,
@@ -198,6 +199,14 @@ class FastBackend:
         self.engine = machine.engine
         self.policy = machine.policy
         self._wfb = machine.policy is CommitPolicy.WFB
+        self.rsb = machine.rsb
+        self._mds = cfg.mem_dep_speculation
+        # BHB off (the default) → a static branch's BTB index never
+        # changes and the branch closures may inline raw target-dict
+        # accesses at a precomputed index.  BHB on → every index folds
+        # in the run-time global history, so the closures fall back to
+        # the BranchTargetBuffer methods.
+        self._plain_btb = machine.btb.config.history_bits == 0
         self._fs = 1.0 / cfg.fetch_width
         self._cs = 1.0 / cfg.commit_width
         self._depth = float(cfg.front_end_depth)
@@ -209,6 +218,7 @@ class FastBackend:
         self._maxc = float(cfg.max_cycles)
         self._i_hit = float(self.hier.config.l1i.hit_latency)
         self._d_hit = self.hier.config.l1d.hit_latency
+        self._l2_lat = float(self.hier.config.l2.hit_latency)
         self._tlb_hit = self.hier.config.dtlb.hit_latency
         # Pre-bound hot-path methods (one attribute walk instead of three
         # on every committed fetch/load).
@@ -375,6 +385,10 @@ class FastBackend:
             return (_W_JMP, 0, 0, None, 0, inst.target, None)
         if op is Opcode.JMPI:
             return (_W_JMPI, 0, inst.rs1, None, 0, 0, None)
+        if op is Opcode.CALL:
+            return (_W_CALL, inst.rd, 0, None, 0, inst.target, None)
+        if op is Opcode.RET:
+            return (_W_RET, 0, inst.rs1, None, 0, 0, None)
         if op is Opcode.CLFLUSH:
             return (_W_CLFLUSH, 0, inst.rs1, None, imm_raw, 0, None)
         if op is Opcode.NOP:
@@ -469,7 +483,8 @@ class FastBackend:
             return self._lower_load(inst, idx, pc, line, nxt)
         if op is Opcode.STORE:
             return self._lower_store(inst, idx, pc, line, nxt)
-        if op in (Opcode.BRANCH, Opcode.JMP, Opcode.JMPI):
+        if op in (Opcode.BRANCH, Opcode.JMP, Opcode.JMPI,
+                  Opcode.CALL, Opcode.RET):
             return self._lower_branch(program, inst, idx, pc, line, nxt)
 
         if op is Opcode.CLFLUSH:
@@ -688,6 +703,8 @@ class FastBackend:
         return step
 
     def _lower_store(self, inst, idx, pc, line, nxt):
+        if self._mds:
+            return self._lower_store_memdep(inst, idx, pc, line, nxt)
         regs, rt, tm, cn, il = self.regs, self.rt, self.tm, self.cn, self.il
         fs, cs, depth = self._fs, self._cs, self._depth
         ifetch = self._ifetch
@@ -767,6 +784,61 @@ class FastBackend:
             return slow(nxt, PC, va, regs[b], s)
         return step
 
+    def _lower_store_memdep(self, inst, idx, pc, line, nxt):
+        """Store under memory-dependence speculation (Spectre v4).
+
+        When the address operand resolves late (slower than an L2 hit),
+        the cycle core's speculating LSQ lets younger loads issue past
+        the unresolved store and consume *pre-store* memory before the
+        squash-on-conflict replay corrects them.  Here that bypass runs
+        as a speculative window over the following committed stream
+        against the stale memory image, then the store commits and the
+        real stream re-executes — architectural state matches the
+        replayed cycle run, the window's fills are the v4 transmission.
+        Under WFB the in-flight loads carry no branch dependence, so
+        their shadow state promotes (the window is a *fault-style*
+        promote window); WFC annuls it.
+        """
+        regs, rt, tm, cn, il = self.regs, self.rt, self.tm, self.cn, self.il
+        fs, cs, depth = self._fs, self._cs, self._depth
+        pen, fwid, rob, maxc = self._pen, self._fwid, self._rob, self._maxc
+        ifetch = self._ifetch
+        a, b = inst.rs1, inst.rs2
+        imm = inst.imm or 0
+        slow = self._store_slow
+        backend = self
+        l2_lat = self._l2_lat
+        def step(a=a, b=b, imm=imm, LN=line, PC=pc):
+            if il[0] != LN:
+                ifetch(LN, PC)
+            va = (regs[a] + imm) & _M
+            f = tm[0] + fs
+            tm[0] = f
+            s = f + depth
+            t = rt[a]
+            if t > s:
+                s = t
+            t = rt[b]
+            if t > s:
+                s = t
+            late = rt[a] - (f + depth)
+            if late > l2_lat:
+                bud = int(late * fwid)
+                if bud > rob:
+                    bud = rob
+                backend._spec_run(nxt, list(regs), bud,
+                                  promote=backend._wfb)
+                # Squash-on-conflict replay: redirect penalty, i-side
+                # state perturbed by the window.
+                tm[0] = s + 1.0 + pen
+                il[0] = -1
+                il[1] = -1
+            r = slow(nxt, PC, va, regs[b], s)
+            if tm[1] > maxc:
+                raise SimulationError(f"exceeded max_cycles={int(maxc)}")
+            return r
+        return step
+
     # ------------------------------------------------------------------
     # branch closures
     # ------------------------------------------------------------------
@@ -794,6 +866,27 @@ class FastBackend:
         if op is Opcode.JMP:
             tgt_idx = inst.target
             tgt_pc = program.pc_of(tgt_idx)
+            if not self._plain_btb:
+                btb_update = btb.update
+                def step(LN=line, PC=pc, tgt_pc=tgt_pc, tgt_idx=tgt_idx,
+                         btb_update=btb_update):
+                    if il[0] != LN:
+                        ifetch(LN, PC)
+                    cn[2] += 1
+                    btb_update(PC, tgt_pc)
+                    f = tm[0] + fs
+                    tm[0] = f
+                    d = f + depth + 1.0
+                    c = tm[1] + cs
+                    if d + 1.0 > c:
+                        c = d + 1.0
+                    tm[1] = c
+                    cn[0] += 1
+                    if tm[1] > maxc:
+                        raise SimulationError(
+                            f"exceeded max_cycles={int(maxc)}")
+                    return tgt_idx
+                return step
             def step(LN=line, PC=pc, tgt_pc=tgt_pc, tgt_idx=tgt_idx,
                      TI=btb_index):
                 if il[0] != LN:
@@ -824,6 +917,53 @@ class FastBackend:
             a = inst.rs1
             code_base = program.code_base
             size = len(program.instructions) << 4
+            if not self._plain_btb:
+                btb_predict = btb.predict_target
+                btb_update = btb.update
+                def step(a=a, LN=line, PC=pc,
+                         btb_predict=btb_predict, btb_update=btb_update):
+                    if il[0] != LN:
+                        ifetch(LN, PC)
+                    tgt = regs[a]
+                    pred = btb_predict(PC)
+                    cn[2] += 1
+                    btb_update(PC, tgt)
+                    f = tm[0] + fs
+                    tm[0] = f
+                    s = f + depth
+                    t = rt[a]
+                    if t > s:
+                        s = t
+                    d = s + 1.0
+                    c = tm[1] + cs
+                    if d + 1.0 > c:
+                        c = d + 1.0
+                    tm[1] = c
+                    cn[0] += 1
+                    if pred != tgt:
+                        cn[3] += 1
+                        bud = int((d - f - depth) * fwid) + fwid
+                        if bud > rob:
+                            bud = rob
+                        if pred is None:
+                            window(nxt, bud)
+                        else:
+                            poff = pred - code_base
+                            if 0 <= poff < size and not poff & 15:
+                                window(poff >> 4, bud)
+                        tm[0] = d + pen
+                        # The window may have perturbed i-side state.
+                        il[0] = -1
+                        il[1] = -1
+                    if tm[1] > maxc:
+                        raise SimulationError(
+                            f"exceeded max_cycles={int(maxc)}")
+                    off = tgt - code_base
+                    if 0 <= off < size and not off & 15:
+                        return off >> 4
+                    backend.reason = "ran_off_code"
+                    return -1
+                return step
             def step(a=a, LN=line, PC=pc, TI=btb_index):
                 if il[0] != LN:
                     ifetch(LN, PC)
@@ -872,13 +1012,104 @@ class FastBackend:
                 return -1
             return step
 
+        if op is Opcode.CALL:
+            # Direct target: never mispredicts (pred == actual by
+            # construction, as in the cycle core).  Pushes the return
+            # address onto the RSB and installs the target in the BTB.
+            rd = inst.rd
+            tgt_idx = inst.target
+            tgt_pc = program.pc_of(tgt_idx)
+            link = pc + 16
+            rsb_push = self.rsb.push
+            plain = self._plain_btb
+            btb_update = btb.update
+            def step(rd=rd, LN=line, PC=pc, link=link, tgt_pc=tgt_pc,
+                     tgt_idx=tgt_idx, TI=btb_index, rsb_push=rsb_push,
+                     plain=plain, btb_update=btb_update):
+                if il[0] != LN:
+                    ifetch(LN, PC)
+                cn[2] += 1
+                rsb_push(link)
+                if plain:
+                    btb_updates.value += 1
+                    btb_targets[TI] = tgt_pc
+                else:
+                    btb_update(PC, tgt_pc)
+                regs[rd] = link
+                f = tm[0] + fs
+                tm[0] = f
+                d = f + depth + 1.0
+                rt[rd] = d
+                c = tm[1] + cs
+                if d + 1.0 > c:
+                    c = d + 1.0
+                tm[1] = c
+                cn[0] += 1
+                if tm[1] > maxc:
+                    raise SimulationError(
+                        f"exceeded max_cycles={int(maxc)}")
+                return tgt_idx
+            return step
+
+        if op is Opcode.RET:
+            # Predicted by the RSB, never installed in the BTB.  An
+            # empty RSB predicts fall-through and is *always* a
+            # mispredict (actual-taken vs predicted-not-taken), matching
+            # the cycle core's resolve rule — the ret2spec underflow.
+            a = inst.rs1
+            code_base = program.code_base
+            size = len(program.instructions) << 4
+            rsb_pop = self.rsb.pop
+            def step(a=a, LN=line, PC=pc, rsb_pop=rsb_pop):
+                if il[0] != LN:
+                    ifetch(LN, PC)
+                pred = rsb_pop()
+                tgt = regs[a]
+                cn[2] += 1
+                f = tm[0] + fs
+                tm[0] = f
+                s = f + depth
+                t = rt[a]
+                if t > s:
+                    s = t
+                d = s + 1.0
+                c = tm[1] + cs
+                if d + 1.0 > c:
+                    c = d + 1.0
+                tm[1] = c
+                cn[0] += 1
+                if pred == 0 or pred != tgt:
+                    cn[3] += 1
+                    bud = int((d - f - depth) * fwid) + fwid
+                    if bud > rob:
+                        bud = rob
+                    if pred == 0:
+                        window(nxt, bud)
+                    else:
+                        poff = pred - code_base
+                        if 0 <= poff < size and not poff & 15:
+                            window(poff >> 4, bud)
+                    tm[0] = d + pen
+                    # The window may have perturbed i-side state.
+                    il[0] = -1
+                    il[1] = -1
+                if tm[1] > maxc:
+                    raise SimulationError(
+                        f"exceeded max_cycles={int(maxc)}")
+                off = tgt - code_base
+                if 0 <= off < size and not off & 15:
+                    return off >> 4
+                backend.reason = "ran_off_code"
+                return -1
+            return step
+
         # conditional BRANCH
         a, b = inst.rs1, inst.rs2
         cond = inst.cond
         tgt_idx = inst.target
         tgt_pc = program.pc_of(tgt_idx)
         predictor = self.predictor
-        if type(predictor) is BimodalPredictor:
+        if type(predictor) is BimodalPredictor and self._plain_btb:
             # Same specialization as the BTB above: the 2-bit counter a
             # static branch trains never moves, so predict/update become
             # a read and a saturating write at a precomputed index —
@@ -964,11 +1195,15 @@ class FastBackend:
         predict = predictor.predict
         update = predictor.update
         btb_update = btb.update
+        note_branch = btb.note_branch
         def step(a=a, b=b, cond=cond, LN=line, PC=pc,
                  tgt_pc=tgt_pc, tgt_idx=tgt_idx):
             if il[0] != LN:
                 ifetch(LN, PC)
             pred = predict(PC)
+            # Fetch-time BHB shift (predicted direction, as in the cycle
+            # core); a no-op when history is disabled.
+            note_branch(pred)
             lv = regs[a]
             rv = regs[b]
             if lv >= _T63:
@@ -1348,6 +1583,7 @@ class FastBackend:
                 fwd[va] = regs[rec[3]]
             elif kind == _W_BRANCH:
                 pred = self.predictor.predict(pc)
+                self.btb.note_branch(pred)
                 lv = regs[rec[2]]
                 rv = regs[rec[3]]
                 if lv >= _T63:
@@ -1386,6 +1622,33 @@ class FastBackend:
                     idx = off >> 4
                     continue
                 break
+            elif kind == _W_CALL:
+                # Wrong-path calls pollute the real RSB (the ret2spec
+                # surface) and train the BTB, exactly like wrong-path
+                # fetch/execute in the cycle core.
+                link = code_base + ((idx + 1) << 4)
+                regs[rec[1]] = link
+                self.rsb.push(link)
+                self.btb.update(pc, code_base + (rec[5] << 4))
+                executed += 1
+                cn[_SQ] += 1
+                idx = rec[5]
+                continue
+            elif kind == _W_RET:
+                # Wrong-path fetch follows the RSB prediction (not the
+                # register, which may be unresolved); an empty RSB falls
+                # through.  The pop itself is real pollution.
+                pred = self.rsb.pop()
+                executed += 1
+                cn[_SQ] += 1
+                if pred:
+                    off = pred - code_base
+                    if 0 <= off < (n << 4) and not off & 15:
+                        idx = off >> 4
+                        continue
+                    break
+                idx += 1
+                continue
             elif kind == _W_STOP:
                 break       # RDTSC/FENCE/HALT never issue off the head
             # _W_CLFLUSH (effect only at commit) and _W_NOP fall through

@@ -265,7 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="first fuzz seed (default: 0)")
     verify.add_argument("--profile", default="mixed", metavar="NAME",
                         help="fuzz profile (mixed/alu/memory/control/"
-                             "faulty; default: mixed)")
+                             "faulty/call-ret; default: mixed)")
     verify.add_argument("--policy", type=_parse_policy,
                         action="append", default=None,
                         help="baseline / wfb / wfc (repeatable; "

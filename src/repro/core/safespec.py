@@ -223,6 +223,12 @@ class SafeSpecEngine:
         when branch dependences clear, and the later commit of the same
         micro-op finds nothing left to move.
         """
+        # The flag is meaningful even when nothing has been recorded
+        # yet: WFB may promote before the micro-op has executed (no
+        # older unresolved branches), and from then on its fills are
+        # non-speculative — the core routes them straight to the
+        # committed structures (see ``Core._sink``).
+        uop.promoted = True
         owned = self._entries_by_owner.pop(uop.seq, None)
         if not owned:
             return 0
@@ -234,7 +240,6 @@ class SafeSpecEngine:
                 if isinstance(translation, Translation):
                     self.hierarchy.install_translation(item.side, translation)
             item.structure.release_committed(item.entry)
-        uop.promoted = True
         self.promotions += len(owned)
         return len(owned)
 

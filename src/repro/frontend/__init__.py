@@ -2,12 +2,16 @@
 
 from repro.frontend.btb import BranchTargetBuffer, BTBConfig
 from repro.frontend.predictors import (BimodalPredictor, GsharePredictor,
-                                       ReturnStackBuffer)
+                                       PerceptronPredictor, TAGEPredictor)
+from repro.frontend.rsb import ReturnStackBuffer, RSBConfig
 
 __all__ = [
     "BTBConfig",
     "BimodalPredictor",
     "BranchTargetBuffer",
     "GsharePredictor",
+    "PerceptronPredictor",
+    "RSBConfig",
     "ReturnStackBuffer",
+    "TAGEPredictor",
 ]

@@ -20,17 +20,29 @@ from repro.statistics import StatRegistry
 
 @dataclass(frozen=True)
 class BTBConfig:
-    """Geometry of the branch target buffer."""
+    """Geometry of the branch target buffer.
+
+    ``history_bits > 0`` enables BHB-style indexing: the index mixes in
+    a global register of recent conditional-branch *directions*, so an
+    attacker who replicates the victim's branch-history pattern steers
+    which entry an indirect branch consumes — the cross-address-space
+    Spectre v2 (BHB) mistraining surface.  The default of 0 keeps the
+    classic plain PC-indexed BTB.
+    """
 
     entries: int = 512
     index_bits: int = 9
     shift: int = 4          # instruction alignment discarded from the PC
+    history_bits: int = 0   # 0 = plain PC indexing (no BHB)
 
     def __post_init__(self) -> None:
         if self.entries != 1 << self.index_bits:
             raise ConfigError(
                 f"BTB entries ({self.entries}) must equal "
                 f"2**index_bits ({1 << self.index_bits})")
+        if not 0 <= self.history_bits <= 64:
+            raise ConfigError(
+                f"BTB history_bits out of range: {self.history_bits}")
 
 
 class BranchTargetBuffer:
@@ -43,10 +55,39 @@ class BranchTargetBuffer:
         self._hits = self.stats.counter("hits")
         self._updates = self.stats.counter("updates")
         self._targets: Dict[int, int] = {}
+        self._history_bits = self.config.history_bits
+        self._history = 0
+
+    @property
+    def history(self) -> int:
+        """Current branch-history register value (0 when BHB disabled)."""
+        return self._history
+
+    def note_branch(self, taken: bool) -> None:
+        """Shift one conditional-branch direction into the BHB.
+
+        The front end calls this with the branch's *predicted* direction
+        (what a fetch-time BHB sees); a no-op when ``history_bits`` is 0.
+        """
+        if self._history_bits:
+            self._history = ((self._history << 1) | int(taken)) & (
+                (1 << self._history_bits) - 1)
+
+    def _folded_history(self) -> int:
+        history = self._history
+        width = self.config.index_bits
+        folded = 0
+        while history:
+            folded ^= history & ((1 << width) - 1)
+            history >>= width
+        return folded
 
     def index_of(self, pc: int) -> int:
-        """BTB set selected by ``pc`` (low-order bits after alignment)."""
-        return (pc >> self.config.shift) & (self.config.entries - 1)
+        """BTB set selected by ``pc`` (and the BHB when enabled)."""
+        index = (pc >> self.config.shift) & (self.config.entries - 1)
+        if self._history_bits:
+            index ^= self._folded_history()
+        return index
 
     def predict_target(self, pc: int) -> Optional[int]:
         """Predicted target for a control-flow instruction at ``pc``."""
@@ -72,14 +113,27 @@ class BranchTargetBuffer:
 
     def flush(self) -> None:
         self._targets.clear()
+        self._history = 0
 
     def occupancy(self) -> int:
         return len(self._targets)
 
     def snapshot(self) -> Dict[int, int]:
-        """Installed ``index -> target`` entries (warm-state dump)."""
+        """Installed ``index -> target`` entries (warm-state dump).
+
+        The BHB register travels separately (:attr:`history` /
+        :meth:`restore_history`) to keep this legacy payload shape —
+        existing checkpoints restore unchanged.
+        """
         return dict(self._targets)
 
     def restore(self, targets: Dict[int, int]) -> None:
         """Replace contents with a :meth:`snapshot`."""
         self._targets = dict(targets)
+
+    def restore_history(self, history: int) -> None:
+        """Restore the BHB register captured via :attr:`history`."""
+        if self._history_bits:
+            self._history = int(history) & ((1 << self._history_bits) - 1)
+        else:
+            self._history = 0

@@ -1,0 +1,86 @@
+"""Return stack buffer: the call/return target predictor.
+
+The RSB is a bounded stack of predicted return addresses: ``call``
+pushes its fall-through PC at fetch, ``ret`` pops the top entry as its
+predicted target.  Entries are plain virtual addresses with no tagging
+or privilege separation — exactly the property P3 mistraining surface
+SpectreRSB exploits (one program's pushes steer another program's
+return speculation), and overflow discards the *oldest* entry, which is
+the underflow-after-deep-recursion behaviour ret2spec relies on.
+
+Like the direction predictors, the RSB snapshot/restores for
+checkpointed sampling: a return stack restored cold would mispredict
+every outstanding return in the measured window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RSBConfig:
+    """Geometry of the return stack buffer."""
+
+    depth: int = 16
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0:
+            raise ConfigError(
+                f"RSB depth must be positive, got {self.depth}")
+
+
+class ReturnStackBuffer:
+    """A bounded return-address stack shared by all code.
+
+    ``pop`` on an empty stack returns 0 ("no prediction": the front end
+    falls through), and ``push`` on a full stack silently discards the
+    oldest entry — both are the conventional, attackable behaviours.
+    """
+
+    def __init__(self, config: Optional[RSBConfig] = None) -> None:
+        self.config = config or RSBConfig()
+        self._depth = self.config.depth
+        self._stack: List[int] = []
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) >= self._depth:
+            del self._stack[0]  # overflow discards the oldest entry
+        self._stack.append(return_pc)
+
+    def pop(self) -> int:
+        """Predicted return target; 0 when empty (no prediction)."""
+        if not self._stack:
+            return 0
+        return self._stack.pop()
+
+    def peek(self) -> int:
+        """Top-of-stack without popping; 0 when empty."""
+        return self._stack[-1] if self._stack else 0
+
+    def flush(self) -> None:
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Trained state for checkpointing."""
+        return {"stack": list(self._stack)}
+
+    def restore(self, state: dict) -> None:
+        stack = list(state.get("stack", ()))
+        if len(stack) > self._depth:
+            raise ConfigError(
+                f"RSB snapshot has {len(stack)} entries, depth is "
+                f"{self._depth}")
+        self._stack = [int(pc) for pc in stack]

@@ -106,6 +106,17 @@ class ProgramBuilder:
         self._emit(Instruction(Opcode.JMPI, rs1=_reg(rs1)))
         return self
 
+    def call(self, rd: RegLike, target: str) -> "ProgramBuilder":
+        """Direct call: ``rd`` <- return address, jump to ``target``."""
+        self._emit(Instruction(Opcode.CALL, rd=_reg(rd), target=0),
+                   pending_label=target)
+        return self
+
+    def ret(self, rs1: RegLike) -> "ProgramBuilder":
+        """Indirect return through ``rs1`` (RSB-predicted)."""
+        self._emit(Instruction(Opcode.RET, rs1=_reg(rs1)))
+        return self
+
     def clflush(self, base: RegLike, offset: int = 0) -> "ProgramBuilder":
         self._emit(Instruction(
             Opcode.CLFLUSH, rs1=_reg(base), imm=offset))
@@ -179,6 +190,8 @@ def assemble(source: str, code_base: int = 0x1000) -> Program:
         beq  rS1, rS2, label   ; likewise bne/blt/bge
         jmp  label
         jmpi rS1
+        call rD, label
+        ret  rS1
         clflush [rS1+imm]
         rdtsc rD
         fence | nop | halt
@@ -256,6 +269,14 @@ def _assemble_line(builder: ProgramBuilder, line: str) -> None:
         if len(operands) != 1:
             raise AssemblyError(f"jmpi needs a register: {line!r}")
         builder.jmpi(operands[0])
+    elif mnemonic == "call":
+        if len(operands) != 2:
+            raise AssemblyError(f"call needs 'rD, label': {line!r}")
+        builder.call(operands[0], operands[1])
+    elif mnemonic == "ret":
+        if len(operands) != 1:
+            raise AssemblyError(f"ret needs a register: {line!r}")
+        builder.ret(operands[0])
     elif mnemonic == "clflush":
         if len(operands) != 1:
             raise AssemblyError(f"clflush needs '[rS+imm]': {line!r}")

@@ -27,6 +27,8 @@ class Opcode(enum.Enum):
     BRANCH = "branch"      # conditional, relative to labels
     JMP = "jmp"            # unconditional direct
     JMPI = "jmpi"          # unconditional indirect: target = rs1
+    CALL = "call"          # rd <- return address; jump to target
+    RET = "ret"            # indirect return: target = rs1 (RSB-predicted)
     CLFLUSH = "clflush"    # flush line at rs1 + imm from all cache levels
     RDTSC = "rdtsc"        # rd <- current cycle (serialising read)
     FENCE = "fence"        # speculation barrier (lfence-like)
@@ -75,6 +77,8 @@ _OPCODE_CLASS = {
     Opcode.BRANCH: InstructionClass.BRANCH,
     Opcode.JMP: InstructionClass.BRANCH,
     Opcode.JMPI: InstructionClass.BRANCH,
+    Opcode.CALL: InstructionClass.BRANCH,
+    Opcode.RET: InstructionClass.BRANCH,
     Opcode.CLFLUSH: InstructionClass.SYSTEM,
     Opcode.RDTSC: InstructionClass.SYSTEM,
     Opcode.FENCE: InstructionClass.SYSTEM,
@@ -88,7 +92,8 @@ _OPCODE_CLASS = {
 FU_CLASS_ORDER = tuple(InstructionClass)
 FU_CLASS_INDEX = {cls: index for index, cls in enumerate(FU_CLASS_ORDER)}
 
-_CONTROL_FLOW = frozenset((Opcode.BRANCH, Opcode.JMP, Opcode.JMPI))
+_CONTROL_FLOW = frozenset((Opcode.BRANCH, Opcode.JMP, Opcode.JMPI,
+                           Opcode.CALL, Opcode.RET))
 
 
 @dataclass(frozen=True)
@@ -139,6 +144,8 @@ class Instruction:
         set_attr(self, "is_control_flow", self.opcode in _CONTROL_FLOW)
         set_attr(self, "is_conditional", self.opcode is Opcode.BRANCH)
         set_attr(self, "is_indirect", self.opcode is Opcode.JMPI)
+        set_attr(self, "is_call", self.opcode is Opcode.CALL)
+        set_attr(self, "is_return", self.opcode is Opcode.RET)
         set_attr(self, "writes_register", self.rd is not None)
         set_attr(self, "sources", tuple(sources))
 
@@ -162,6 +169,12 @@ class Instruction:
         elif op == Opcode.JMPI:
             if self.rs1 is None:
                 raise AssemblyError("JMPI needs rs1")
+        elif op == Opcode.CALL:
+            if self.rd is None:
+                raise AssemblyError("CALL needs rd (link register)")
+        elif op == Opcode.RET:
+            if self.rs1 is None:
+                raise AssemblyError("RET needs rs1 (return-address register)")
         elif op == Opcode.CLFLUSH:
             if self.rs1 is None:
                 raise AssemblyError("CLFLUSH needs rs1")
@@ -191,6 +204,10 @@ class Instruction:
             return f"jmp @{self.target}"
         if self.opcode == Opcode.JMPI:
             return f"jmpi r{self.rs1}"
+        if self.opcode == Opcode.CALL:
+            return f"call r{self.rd}, @{self.target}"
+        if self.opcode == Opcode.RET:
+            return f"ret r{self.rs1}"
         if self.opcode == Opcode.CLFLUSH:
             return f"clflush [r{self.rs1}+{self.imm}]"
         if self.opcode == Opcode.RDTSC:

@@ -90,6 +90,8 @@ class Program:
                              f"r{inst.rs2}, L{inst.target}")
             elif inst.opcode == Opcode.JMP:
                 lines.append(f"jmp L{inst.target}")
+            elif inst.opcode == Opcode.CALL:
+                lines.append(f"call r{inst.rd}, L{inst.target}")
             else:
                 lines.append(str(inst))
         # A target one past the last instruction still needs its label.

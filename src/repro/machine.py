@@ -22,6 +22,7 @@ from repro.backends import DEFAULT_BACKEND, BACKENDS
 from repro.core.policy import CommitPolicy
 from repro.core.safespec import SafeSpecConfig, SafeSpecEngine
 from repro.frontend.btb import BranchTargetBuffer, BTBConfig
+from repro.frontend.rsb import ReturnStackBuffer, RSBConfig
 from repro.isa.program import Program
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.memory.paging import PagePermissions, PageTable, PrivilegeLevel
@@ -57,6 +58,7 @@ class Machine:
                  page_table: Optional[PageTable] = None,
                  predictor: str = "bimodal",
                  btb_config: Optional[BTBConfig] = None,
+                 rsb_config: Optional[RSBConfig] = None,
                  backend: str = DEFAULT_BACKEND) -> None:
         self.core_config = core_config or CoreConfig()
         # The machine is the single owner of the page table: the
@@ -69,6 +71,7 @@ class Machine:
         # predictor (SafeSpec makes no assumption on the predictor).
         self.predictor = PREDICTORS.create(predictor)
         self.btb = BranchTargetBuffer(btb_config)
+        self.rsb = ReturnStackBuffer(rsb_config)
         if safespec_config is not None:
             self.policy = safespec_config.policy
         else:
@@ -118,6 +121,7 @@ class Machine:
                    page_table=page_table,
                    predictor=spec.predictor,
                    btb_config=spec.btb,
+                   rsb_config=spec.rsb,
                    backend=backend)
 
     # ------------------------------------------------------------------

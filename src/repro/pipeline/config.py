@@ -50,6 +50,12 @@ class CoreConfig:
     mispredict_penalty: int = 12    # squash -> first refetched instruction
     store_forward_latency: int = 4  # store-queue forwarding to a load
 
+    # Memory-dependence speculation: loads may issue past unresolved
+    # older store addresses; a later address conflict squashes and
+    # replays (the Spectre v4 / speculative-store-bypass surface).
+    # Off by default: the classic conservative disambiguation.
+    mem_dep_speculation: bool = False
+
     # safety valve for runaway simulations
     max_cycles: int = 20_000_000
 

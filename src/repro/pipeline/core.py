@@ -32,6 +32,7 @@ from repro.core.safespec import SafeSpecEngine
 from repro.errors import SimulationError
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.predictors import BimodalPredictor
+from repro.frontend.rsb import ReturnStackBuffer
 from repro.isa.instructions import (AluOp, BranchCond, INSTRUCTION_BYTES,
                                     Opcode)
 from repro.isa.program import Program
@@ -101,6 +102,7 @@ class Core:
                  config: Optional[CoreConfig] = None,
                  predictor: Optional[BimodalPredictor] = None,
                  btb: Optional[BranchTargetBuffer] = None,
+                 rsb: Optional[ReturnStackBuffer] = None,
                  engine: Optional[SafeSpecEngine] = None,
                  privilege: PrivilegeLevel = PrivilegeLevel.USER,
                  fault_handler_pc: Optional[int] = None,
@@ -111,6 +113,8 @@ class Core:
         self.config = config or CoreConfig()
         self.predictor = predictor or BimodalPredictor()
         self.btb = btb or BranchTargetBuffer()
+        # `is not None`: an empty RSB is falsy (it has __len__).
+        self.rsb = rsb if rsb is not None else ReturnStackBuffer()
         self.engine = engine
         self.policy = engine.config.policy if engine else CommitPolicy.BASELINE
         self.privilege = privilege
@@ -123,8 +127,9 @@ class Core:
 
         self.rob = ReorderBuffer(self.config.rob_entries)
         self.iq = IssueQueue(self.config.iq_entries)
-        self.lsq = LoadStoreQueue(self.config.ldq_entries,
-                                  self.config.stq_entries)
+        self.lsq = LoadStoreQueue(
+            self.config.ldq_entries, self.config.stq_entries,
+            mem_dep_speculation=self.config.mem_dep_speculation)
         self.fus = FunctionalUnits(self.config)
 
         # Per-cycle configuration scalars, hoisted out of the hot loop.
@@ -137,6 +142,7 @@ class Core:
         self._alu_latency = cfg.alu_latency
         self._mul_latency = cfg.mul_latency
         self._store_forward_latency = cfg.store_forward_latency
+        self._mem_dep_spec = cfg.mem_dep_speculation
 
         self._rename: Dict[int, DynUop] = {}
         self._fetch_buffer: Deque[DynUop] = deque()
@@ -433,6 +439,9 @@ class Core:
             if self.engine and self.policy is CommitPolicy.WFB:
                 if not uop.branch_deps:
                     self.engine.on_branch_resolved(uop)
+            if self._mem_dep_spec and uop.is_store \
+                    and uop.vaddr is not None:
+                self._check_memory_order(uop)
             if uop.is_branch:
                 self._resolve_branch(uop)
 
@@ -452,7 +461,10 @@ class Core:
         # by wrong-path execution contexts too).
         if uop.inst.is_conditional:
             self.predictor.update(uop.pc, uop.actual_taken, uop.pred_taken)
-        if uop.actual_taken and uop.actual_target is not None:
+        if (uop.actual_taken and uop.actual_target is not None
+                and not uop.inst.is_return):
+            # Returns are predicted by the RSB, never installed in the
+            # BTB (a return target is per-invocation, not per-PC).
             self.btb.update(uop.pc, uop.actual_target)
         if mispredicted:
             self._n_mispredicts += 1
@@ -461,6 +473,19 @@ class Core:
                                  penalty=self._mispredict_penalty)
         else:
             self._clear_branch_dependence(uop)
+
+    def _check_memory_order(self, store: DynUop) -> None:
+        """A store address just resolved under memory-dependence
+        speculation: any younger load that already issued against an
+        overlapping address consumed stale data.  Squash from the
+        violating load onward and refetch it — it will now see the
+        store (forwarded, or from memory once committed)."""
+        victim = self.lsq.conflicting_load(store)
+        if victim is None:
+            return
+        victim_pc = victim.pc
+        self._squash_younger_than(victim.seq - 1)
+        self._redirect_fetch(victim_pc, penalty=self._mispredict_penalty)
 
     def _clear_branch_dependence(self, branch: DynUop) -> None:
         """A correctly predicted branch resolved: younger micro-ops lose
@@ -575,7 +600,13 @@ class Core:
         return self.engine.can_accept_data_access()
 
     def _sink(self, uop: DynUop):
-        if self.engine is None:
+        if self.engine is None or uop.promoted:
+            # A WFB-promoted micro-op (every older branch resolved, or
+            # none to begin with) is past the shadow: its fills are
+            # non-speculative and go straight to the committed
+            # structures.  This is the paper's WFB hole — non-branch
+            # speculation (faults, memory-order violations) squashes
+            # state WFB has already released.
             return self.hierarchy.default_sink()
         return self.engine.sink_for(uop)
 
@@ -591,10 +622,18 @@ class Core:
             uop.result = to_unsigned(uop.inst.imm)
             uop.done_cycle = self.cycle + self._alu_latency
         elif op is Opcode.LOAD:
-            self._execute_load(uop)
+            if not self._execute_load(uop):
+                # Replay: a partially overlapping in-flight store means
+                # word forwarding would be wrong; return the load to the
+                # issue queue until the store drains to memory.
+                uop.state = UopState.DISPATCHED
+                uop.issue_cycle = -1
+                self.iq.add(uop)
+                return
         elif op is Opcode.STORE:
             self._execute_store(uop)
-        elif op in (Opcode.BRANCH, Opcode.JMP, Opcode.JMPI):
+        elif op in (Opcode.BRANCH, Opcode.JMP, Opcode.JMPI,
+                    Opcode.CALL, Opcode.RET):
             self._execute_branch(uop)
         elif op is Opcode.CLFLUSH:
             base = uop.source_value(uop.inst.rs1)
@@ -635,9 +674,14 @@ class Core:
                    else self._alu_latency)
         uop.done_cycle = self.cycle + latency
 
-    def _execute_load(self, uop: DynUop) -> None:
+    def _execute_load(self, uop: DynUop) -> bool:
+        """Execute a load; returns False when it must be replayed."""
         base = uop.source_value(uop.inst.rs1)
         uop.vaddr = to_unsigned(base + uop.inst.imm)
+        if self.lsq.older_store_blocks(uop):
+            # Only detectable now that the address is known: a resolved
+            # older store partially overlaps this word.
+            return False
         forwarded = self.lsq.forward_from_store(uop)
         if forwarded is not None:
             value, _store = forwarded
@@ -645,7 +689,7 @@ class Core:
             uop.forwarded = True
             uop.done_cycle = self.cycle + self._store_forward_latency
             self._n_forwards += 1
-            return
+            return True
         result = self.hierarchy.data_access(
             uop.vaddr, is_write=False, privilege=self.privilege,
             sink=self._sink(uop))
@@ -662,6 +706,7 @@ class Core:
             # fault — this is the Meltdown read.
             uop.result = self.hierarchy.memory.read_word(result.paddr)
         uop.done_cycle = self.cycle + max(result.latency, 1)
+        return True
 
     def _execute_store(self, uop: DynUop) -> None:
         base = uop.source_value(uop.inst.rs1)
@@ -699,7 +744,11 @@ class Core:
         elif op is Opcode.JMP:
             uop.actual_taken = True
             uop.actual_target = self.program.pc_of(uop.inst.target)
-        else:  # JMPI
+        elif op is Opcode.CALL:
+            uop.actual_taken = True
+            uop.actual_target = self.program.pc_of(uop.inst.target)
+            uop.result = to_unsigned(uop.pc + INSTRUCTION_BYTES)  # link
+        else:  # JMPI / RET: indirect through rs1
             uop.actual_taken = True
             uop.actual_target = to_unsigned(uop.source_value(uop.inst.rs1))
         uop.done_cycle = self.cycle + 1
@@ -836,9 +885,29 @@ class Core:
             uop.pred_taken = self.predictor.predict(uop.pc)
             uop.pred_target = (self.program.pc_of(inst.target)
                                if uop.pred_taken else None)
+            # A fetch-time BHB sees the *predicted* direction; trained
+            # branches make this the resolved direction too.
+            self.btb.note_branch(uop.pred_taken)
         elif inst.opcode is Opcode.JMP:
             uop.pred_taken = True
             uop.pred_target = self.program.pc_of(inst.target)
+        elif inst.opcode is Opcode.CALL:
+            # Direct target: never mispredicts.  The RSB learns the
+            # fall-through (return) address at fetch — including on the
+            # wrong path, which is the ret2spec pollution surface.
+            uop.pred_taken = True
+            uop.pred_target = self.program.pc_of(inst.target)
+            self.rsb.push(uop.pc + INSTRUCTION_BYTES)
+        elif inst.opcode is Opcode.RET:
+            predicted = self.rsb.pop()
+            if predicted:
+                uop.pred_taken = True
+                uop.pred_target = predicted
+            else:
+                # Empty RSB: no prediction, fall through and fix up at
+                # resolution (the ret2spec underflow misprediction).
+                uop.pred_taken = False
+                uop.pred_target = None
         elif inst.opcode is Opcode.JMPI:
             target = self.btb.predict_target(uop.pc)
             uop.btb_predicted = target is not None

@@ -6,9 +6,15 @@ speculation attacks" — store *data* only reaches the memory system at
 commit.  Store *address translation* still happens at execute and is
 speculative state (a dTLB fill) that SafeSpec shadows.
 
-Disambiguation is conservative: a load may not issue while any older
-store's address is unknown; once all older store addresses are known the
-youngest matching store forwards its data.
+Disambiguation is conservative by default: a load may not issue while
+any older store's address is unknown; once all older store addresses
+are known the youngest *exactly* matching store forwards its data, and
+a partially overlapping store stalls the load until it drains (the
+memory system merges the bytes — forwarding an unshifted word would be
+wrong).  With ``mem_dep_speculation`` enabled, loads bypass unresolved
+older stores instead, and :meth:`conflicting_load` lets the core detect
+the memory-order violation when the store address finally resolves —
+the Spectre v4 (speculative store bypass) surface.
 """
 
 from __future__ import annotations
@@ -22,13 +28,15 @@ class LoadStoreQueue:
     """Combined LDQ/STQ bookkeeping (separately bounded)."""
 
     __slots__ = ("ldq_capacity", "stq_capacity", "_word_bytes",
-                 "_loads", "_stores")
+                 "_loads", "_stores", "_mem_dep_speculation")
 
     def __init__(self, ldq_entries: int, stq_entries: int,
-                 word_bytes: int = 8) -> None:
+                 word_bytes: int = 8,
+                 mem_dep_speculation: bool = False) -> None:
         self.ldq_capacity = ldq_entries
         self.stq_capacity = stq_entries
         self._word_bytes = word_bytes
+        self._mem_dep_speculation = mem_dep_speculation
         self._loads: List[DynUop] = []
         self._stores: List[DynUop] = []
 
@@ -78,24 +86,40 @@ class LoadStoreQueue:
         return abs(addr_a - addr_b) < self._word_bytes
 
     def older_store_blocks(self, load: DynUop) -> bool:
-        """True while any older store has an unresolved address."""
+        """True while an older store makes the load unissueable.
+
+        Conservative mode: any older store with an unresolved address
+        blocks.  With memory-dependence speculation, unresolved
+        addresses do *not* block (the load bypasses; a conflict is
+        caught later by :meth:`conflicting_load`).  In both modes a
+        *partially* overlapping resolved store blocks until it drains:
+        word forwarding cannot shift/merge bytes, only the memory
+        system can.
+        """
         if not self._stores:
             return False
         load_seq = load.seq
+        load_vaddr = load.vaddr
         for store in self._stores:
             if store.seq >= load_seq:
                 continue
             if store.state is UopState.SQUASHED:
                 continue
             if store.vaddr is None:
+                if not self._mem_dep_speculation:
+                    return True
+                continue
+            if (load_vaddr is not None and store.vaddr != load_vaddr
+                    and self._overlaps(store.vaddr, load_vaddr)):
                 return True
         return False
 
     def forward_from_store(self, load: DynUop) -> Optional[Tuple[int, DynUop]]:
-        """Value forwarded by the youngest older store to the same word.
+        """Value forwarded by the youngest older store to the *same* word.
 
-        Returns ``(value, store)`` or ``None``.  Must only be called once
-        :meth:`older_store_blocks` is False.
+        Returns ``(value, store)`` or ``None``.  Only an exact word
+        match forwards; partial overlaps never reach here (the load is
+        stalled by :meth:`older_store_blocks` until the store drains).
         """
         if not self._stores:
             return None
@@ -105,9 +129,33 @@ class LoadStoreQueue:
                 continue
             if store.vaddr is None or load.vaddr is None:
                 continue
-            if self._overlaps(store.vaddr, load.vaddr):
+            if store.vaddr == load.vaddr:
                 if best is None or store.seq > best.seq:
                     best = store
         if best is None or best.store_value is None:
             return None
         return best.store_value, best
+
+    def conflicting_load(self, store: DynUop) -> Optional[DynUop]:
+        """Oldest younger load that already read past this store.
+
+        Called when a store's address resolves under memory-dependence
+        speculation: any younger load that has issued (or finished)
+        against an overlapping address consumed stale data and must be
+        squashed and replayed.
+        """
+        if store.vaddr is None:
+            return None
+        victim: Optional[DynUop] = None
+        for load in self._loads:
+            if load.seq <= store.seq:
+                continue
+            if load.state is not UopState.ISSUED and \
+                    load.state is not UopState.DONE:
+                continue
+            if load.vaddr is None:
+                continue
+            if self._overlaps(store.vaddr, load.vaddr):
+                if victim is None or load.seq < victim.seq:
+                    victim = load
+        return victim

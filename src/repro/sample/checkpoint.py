@@ -156,6 +156,11 @@ class Checkpoint:
         if hasattr(predictor, "snapshot"):
             warm["predictor"] = predictor.snapshot()
         warm["btb"] = sorted(machine.btb.snapshot().items())
+        if machine.btb.history:
+            warm["btb_history"] = machine.btb.history
+        rsb_state = machine.rsb.snapshot()
+        if rsb_state["stack"]:
+            warm["rsb"] = rsb_state
         warm["tlbs"] = {
             name: [(t.vpn, t.ppn, _permission_bits(t.permissions))
                    for t in getattr(machine.hierarchy, name).snapshot()]
@@ -197,6 +202,8 @@ class Checkpoint:
                                                    "restore"):
             machine.predictor.restore(predictor_state)
         machine.btb.restore(dict(warm.get("btb", ())))
+        machine.btb.restore_history(int(warm.get("btb_history", 0)))
+        machine.rsb.restore(warm.get("rsb", {"stack": []}))
         for name, entries in warm.get("tlbs", {}).items():
             if name not in _TLBS:
                 raise SampleError(f"unknown TLB in checkpoint: {name!r}")

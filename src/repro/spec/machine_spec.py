@@ -39,12 +39,14 @@ from typing import (Any, Dict, Mapping, Optional, Sequence, Union,
 from repro.core.safespec import SafeSpecConfig
 from repro.errors import ConfigError
 from repro.frontend.btb import BTBConfig
+from repro.frontend.rsb import RSBConfig
 from repro.memory.hierarchy import HierarchyConfig
 from repro.pipeline.config import CoreConfig
 
 # Bump when the spec tree's field layout changes incompatibly; the
 # digest (and therefore every spec-carrying job key) namespaces on it.
-SPEC_SCHEMA_VERSION = 1
+# v2: rsb section, btb.history_bits, core.mem_dep_speculation.
+SPEC_SCHEMA_VERSION = 2
 
 # Keys a spec contributes to SimJob.params (transport into the job hash
 # and across executor workers).
@@ -70,6 +72,7 @@ class MachineSpec:
     safespec: Optional[SafeSpecConfig] = None
     predictor: str = "bimodal"
     btb: BTBConfig = BTBConfig()
+    rsb: RSBConfig = RSBConfig()
 
     def __post_init__(self) -> None:
         if not self.predictor or not isinstance(self.predictor, str):

@@ -43,7 +43,8 @@ from repro.isa.program import Program
 # Bump when generated programs (or their memory image) change for a
 # given (profile, seed): verify-job cache keys carry this version so
 # stale differential verdicts can never be replayed from the cache.
-FUZZ_FORMAT_VERSION = 1
+# v2: call/ret construct (call_fraction) joined the op draw.
+FUZZ_FORMAT_VERSION = 2
 
 _ALU_OPS = ("add", "sub", "mul", "and", "or", "xor", "shl", "shr")
 _BRANCH_CONDS = ("eq", "ne", "lt", "ge")
@@ -81,6 +82,7 @@ class FuzzProfile:
     rdtsc_fraction: float = 0.04
     fence_fraction: float = 0.03
     jmpi_fraction: float = 0.04
+    call_fraction: float = 0.0
     fault_epilogue_probability: float = 0.5
     data_bytes: int = 4096
 
@@ -97,7 +99,7 @@ class FuzzProfile:
         fractions = (self.load_fraction + self.store_fraction
                      + self.branch_fraction + self.clflush_fraction
                      + self.rdtsc_fraction + self.fence_fraction
-                     + self.jmpi_fraction)
+                     + self.jmpi_fraction + self.call_fraction)
         if fractions > 1.0:
             raise ConfigError("fuzz profile op fractions exceed 1.0")
 
@@ -135,6 +137,12 @@ FUZZ_PROFILES: Dict[str, FuzzProfile] = {
         name="faulty", ops=80, loops=1, load_fraction=0.20,
         store_fraction=0.15, branch_fraction=0.10,
         fault_epilogue_probability=1.0),
+    "call-ret": FuzzProfile(
+        name="call-ret", ops=110, loops=1, loop_body_ops=6,
+        load_fraction=0.08, store_fraction=0.05, branch_fraction=0.12,
+        clflush_fraction=0.0, rdtsc_fraction=0.02, fence_fraction=0.02,
+        jmpi_fraction=0.06, call_fraction=0.25,
+        fault_epilogue_probability=0.25),
 }
 
 
@@ -239,6 +247,9 @@ class _FuzzEmitter:
         edge += p.jmpi_fraction
         if draw < edge:
             return self._emit_jmpi_hop()
+        edge += p.call_fraction
+        if draw < edge:
+            return self._emit_call_ret()
         return self._emit_alu()
 
     def _emit_alu(self) -> None:
@@ -290,6 +301,22 @@ class _FuzzEmitter:
         if self._rng.random() < 0.5:
             # Occasionally overwrite the sink: exercises taint clearing.
             self._b.li(R_TSC_SINK, self._rng.randrange(0, 1 << 16))
+
+    def _emit_call_ret(self) -> None:
+        """A balanced inline call: ``call`` a forward function of 1–3
+        ALU ops that returns through its link register (the RSB push/pop
+        pair), with the mainline jumping over the function body.  The
+        body never emits nested constructs, so the link in ``R_SCRATCH``
+        survives until the ``ret``."""
+        fn = self._fresh_label("fn")
+        done = self._fresh_label("fnend")
+        self._b.call(R_SCRATCH, fn)
+        self._b.jmp(done)
+        self._b.label(fn)
+        for _ in range(self._rng.randrange(1, 4)):
+            self._emit_alu()
+        self._b.ret(R_SCRATCH)
+        self._b.label(done)
 
     def _emit_jmpi_hop(self) -> None:
         """``li`` the pc of the next-next instruction, then ``jmpi`` to

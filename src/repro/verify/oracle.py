@@ -188,6 +188,15 @@ class ReferenceOracle:
                     raise OracleError(
                         f"jmpi through timing-tainted register at {pc:#x}")
                 next_pc = regs[inst.rs1]
+            elif op is Opcode.CALL:
+                regs[inst.rd] = next_pc  # link: fall-through address
+                tainted.discard(inst.rd)
+                next_pc = program.pc_of(inst.target)
+            elif op is Opcode.RET:
+                if inst.rs1 in tainted:
+                    raise OracleError(
+                        f"ret through timing-tainted register at {pc:#x}")
+                next_pc = regs[inst.rs1]
             elif op is Opcode.RDTSC:
                 # Timing-dependent: canonical zero, tracked as tainted.
                 regs[inst.rd] = 0

@@ -61,12 +61,21 @@ class TestRegistry:
     def test_attack_registry_preserves_table_order(self):
         assert attack_names() == [
             "spectre_v1", "spectre_v1_pp", "spectre_v2", "meltdown",
-            "meltdown_spectre", "icache", "itlb", "dtlb", "transient"]
+            "meltdown_spectre", "icache", "itlb", "dtlb", "transient",
+            "ret2spec", "spectre_rsb", "spectre_v2_bhb", "ssb_v4"]
 
     def test_expected_closed_from_metadata(self):
         # Meltdown is the branch-free special case: only WFC closes it.
         assert not expected_closed("meltdown", WFB)
         assert expected_closed("meltdown", WFC)
+        # ...as is speculative store bypass: no branch anywhere, so WFB
+        # promotes the in-flight accesses and only WFC closes it.
+        assert not expected_closed("ssb_v4", WFB)
+        assert expected_closed("ssb_v4", WFC)
+        # The RSB and BHB families ride control-flow misprediction.
+        for name in ("ret2spec", "spectre_rsb", "spectre_v2_bhb"):
+            assert expected_closed(name, WFB)
+            assert expected_closed(name, WFC)
         # Everything else rides a branch misprediction.
         assert expected_closed("spectre_v1", WFB)
         assert expected_closed("spectre_v1", WFC)
@@ -77,9 +86,10 @@ class TestRegistry:
         assert WORKLOADS.get("mcf").name == "mcf"
 
     def test_predictor_registry_drives_machine_dispatch(self):
-        assert set(PREDICTORS.names()) >= {"bimodal", "gshare"}
+        assert set(PREDICTORS.names()) >= {
+            "bimodal", "gshare", "tage", "perceptron"}
         with pytest.raises(ConfigError) as excinfo:
-            Machine(predictor="tage")
+            Machine(predictor="neural9000")
         # The error enumerates the registered names dynamically.
         for name in PREDICTORS.names():
             assert name in str(excinfo.value)
@@ -145,7 +155,8 @@ class TestRegistry:
         src = str(Path(repro.__file__).parents[1])
         expected = ("spectre_v1", "spectre_v1_pp", "spectre_v2",
                     "meltdown", "meltdown_spectre", "icache", "itlb",
-                    "dtlb", "transient")
+                    "dtlb", "transient", "ret2spec", "spectre_rsb",
+                    "spectre_v2_bhb", "ssb_v4")
         code = (
             "from repro.api.registry import attack_names\n"
             "names = tuple(attack_names())\n"

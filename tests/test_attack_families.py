@@ -1,0 +1,162 @@
+"""Scenario-diversity attack families and their supporting machinery.
+
+Covers the extended Tables III/IV rows (ret2spec, SpectreRSB, the
+BHB-steered Spectre v2, and Spectre v4 store bypass), backend verdict
+parity for each, the LSQ partial-overlap forwarding regression, and
+warm-state snapshot round-trips for every registered predictor.
+"""
+
+import pytest
+
+from repro_testlib import POLICIES
+from repro.api.registry import PREDICTORS
+from repro.attacks import expected_closed, run_attack_by_name
+from repro.isa.assembler import ProgramBuilder
+from repro.machine import Machine
+from repro.sample.checkpoint import Checkpoint
+from repro.spec import MachineSpec
+from repro.verify import ReferenceOracle
+
+BASELINE, WFB, WFC = POLICIES
+
+NEW_ATTACKS = ("ret2spec", "spectre_rsb", "spectre_v2_bhb", "ssb_v4")
+
+
+class TestNewAttackVerdicts:
+    """Each new family leaks on the baseline and is closed exactly where
+    the registry metadata says SafeSpec closes it — on both backends,
+    with identical verdicts (the acceptance bar for backend parity)."""
+
+    @pytest.mark.parametrize("attack", NEW_ATTACKS)
+    @pytest.mark.parametrize("policy", POLICIES,
+                             ids=lambda p: p.name.lower())
+    def test_verdict_and_backend_parity(self, attack, policy):
+        cycle = run_attack_by_name(attack, policy, 42, backend="cycle")
+        fast = run_attack_by_name(attack, policy, 42, backend="fast")
+        assert cycle.leaked == fast.leaked, (
+            f"{attack}/{policy.name}: cycle leaked {cycle.leaked}, "
+            f"fast leaked {fast.leaked}")
+        if policy is BASELINE:
+            assert cycle.leaked == 42
+        elif expected_closed(attack, policy):
+            assert cycle.closed
+        else:
+            assert cycle.leaked == 42
+
+    def test_ssb_v4_is_the_branch_free_row(self):
+        # Store bypass involves no branch: WFB's promotion leaves the
+        # hole open (like Meltdown) and only WFC closes it.
+        assert not expected_closed("ssb_v4", WFB)
+        assert expected_closed("ssb_v4", WFC)
+        for name in ("ret2spec", "spectre_rsb", "spectre_v2_bhb"):
+            assert expected_closed(name, WFB)
+
+
+class TestLSQPartialOverlapForwarding:
+    """Regression for the store-to-load forwarding fix: a store must
+    forward only to an *exact* word match.  A partially overlapping
+    younger load has to wait for the store to drain and then read its
+    own memory cell — forwarding the unshifted store word is wrong."""
+
+    DATA = 0x20000
+
+    def _program(self, overlap_offset):
+        b = ProgramBuilder(code_base=0x1000)
+        b.li("r1", self.DATA)
+        b.li("r3", 0xDEAD)
+        b.store("r1", "r3", 0)                 # store word @DATA
+        b.load("r4", "r1", overlap_offset)     # load @DATA+offset
+        b.halt()
+        return b.build()
+
+    def _run_both(self, program):
+        machine = Machine()
+        machine.map_user_range(self.DATA, 4096)
+        machine.write_word(self.DATA, 0x1111)
+        machine.write_word(self.DATA + 8, 0x3333)
+        result = machine.run(program)
+
+        oracle = ReferenceOracle()
+        oracle.map_user_range(self.DATA, 4096)
+        oracle.write_word(self.DATA, 0x1111)
+        oracle.write_word(self.DATA + 8, 0x3333)
+        expected = oracle.run(program)
+        return result, expected
+
+    def test_partial_overlap_reads_memory_not_store(self):
+        # Byte-accurate result: bytes 4-7 come from the drained store's
+        # word (zero there), bytes 8-11 from the next cell.  Forwarding
+        # the unshifted store word (0xDEAD) instead would be the bug.
+        result, expected = self._run_both(self._program(4))
+        assert result.reg(4) == expected.reg(4) == 0x3333 << 32
+
+    def test_exact_match_forwards_store_value(self):
+        result, expected = self._run_both(self._program(0))
+        assert result.reg(4) == expected.reg(4) == 0xDEAD
+        assert result.counters["store_forwards"] >= 1
+
+
+class TestWarmStateRoundTrip:
+    """Checkpoint capture/apply must round-trip the trained front end:
+    direction predictor (every registered kind), BTB entries, global
+    branch history, and the return stack buffer."""
+
+    def _warm_program(self):
+        b = ProgramBuilder(code_base=0x1000)
+        for k in range(6):                     # trains taken counters
+            b.branch("eq", "r0", "r0", f"t{k}")
+            b.label(f"t{k}")
+        b.branch("ne", "r0", "r0", "t6")       # a not-taken outcome
+        b.label("t6")
+        b.call("r2", "fn")                     # push never popped: the
+        b.halt()                               # RSB entry survives
+        b.label("fn")
+        b.halt()
+        return b.build()
+
+    @pytest.mark.parametrize("name", sorted(PREDICTORS.names()))
+    def test_round_trip_per_predictor(self, name):
+        spec = MachineSpec().derive(
+            **{"predictor": name, "btb.history_bits": 4})
+        machine = Machine.from_spec(spec)
+        program = self._warm_program()
+        run = machine.run(program)
+        for _ in range(2):                     # past cold counters
+            run = machine.run(program)
+
+        # Committed calls (one per run) plus any wrong-path speculative
+        # pushes — squash never unwinds the RSB, so it is non-empty.
+        assert len(machine.rsb) >= 1
+        assert machine.btb.history != 0
+
+        ckpt = Checkpoint.capture(
+            machine, instructions=run.instructions,
+            next_pc=run.next_pc or 0, registers=run.registers)
+        fresh = Machine.from_spec(spec)
+        ckpt.apply(fresh)
+
+        assert fresh.predictor.snapshot() == machine.predictor.snapshot()
+        assert fresh.btb.snapshot() == machine.btb.snapshot()
+        assert fresh.btb.history == machine.btb.history
+        assert fresh.rsb.snapshot() == machine.rsb.snapshot()
+
+    @pytest.mark.parametrize("name", sorted(PREDICTORS.names()))
+    def test_restored_machine_predicts_identically(self, name):
+        spec = MachineSpec().derive(
+            **{"predictor": name, "btb.history_bits": 4})
+        machine = Machine.from_spec(spec)
+        program = self._warm_program()
+        run = machine.run(program)
+        run = machine.run(program)
+
+        ckpt = Checkpoint.capture(
+            machine, instructions=run.instructions,
+            next_pc=run.next_pc or 0, registers=run.registers)
+        fresh = Machine.from_spec(spec)
+        ckpt.apply(fresh)
+
+        again = machine.run(program)
+        replay = fresh.run(program)
+        assert replay.counters["mispredicts"] == \
+            again.counters["mispredicts"]
+        assert replay.cycles == again.cycles

@@ -139,7 +139,7 @@ class TestPredictorChoice:
         from repro.errors import ConfigError
 
         with pytest.raises(ConfigError):
-            Machine(predictor="tage")
+            Machine(predictor="neural9000")
 
     def test_spectre_v1_leaks_with_gshare_baseline(self):
         """SafeSpec 'makes no assumptions on the branch predictor': the

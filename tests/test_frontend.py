@@ -6,6 +6,7 @@ from repro.errors import ConfigError
 from repro.frontend.btb import BTBConfig, BranchTargetBuffer
 from repro.frontend.predictors import (BimodalPredictor, GsharePredictor,
                                        ReturnStackBuffer)
+from repro.frontend.rsb import RSBConfig
 
 
 class TestBTB:
@@ -114,7 +115,7 @@ class TestRSB:
         assert ReturnStackBuffer().pop() == 0
 
     def test_overflow_drops_oldest(self):
-        rsb = ReturnStackBuffer(depth=2)
+        rsb = ReturnStackBuffer(RSBConfig(depth=2))
         rsb.push(1)
         rsb.push(2)
         rsb.push(3)
@@ -124,4 +125,4 @@ class TestRSB:
 
     def test_depth_validated(self):
         with pytest.raises(ConfigError):
-            ReturnStackBuffer(depth=0)
+            RSBConfig(depth=0)
